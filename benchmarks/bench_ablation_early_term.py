@@ -1,0 +1,62 @@
+"""Ablation A3 -- checkEarlyTermination (Alg. 2) on vs off.
+
+The paper stops the bottom-up pass as soon as no compatible trace can
+survive; this ablation measures what the optimization buys (and the
+tests assert it never changes the answers).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro.core import NedExplain, NedExplainConfig
+from repro.workloads import USE_CASES, use_case_setup
+
+from conftest import register_artefact
+
+_MEDIANS: dict[str, dict[str, float]] = {}
+
+#: use cases whose compatible traces die early (where Alg. 2 helps)
+_CASES = [uc.name for uc in USE_CASES]
+
+
+@pytest.mark.parametrize("name", _CASES)
+@pytest.mark.parametrize("early", [True, False], ids=["on", "off"])
+def test_early_termination(benchmark, name, early):
+    use_case, database, canonical = use_case_setup(name)
+    engine = NedExplain(
+        canonical,
+        database=database,
+        config=NedExplainConfig(early_termination=early),
+    )
+    report = benchmark(engine.explain, use_case.predicate)
+    _MEDIANS.setdefault(name, {})[
+        "on" if early else "off"
+    ] = statistics.median(benchmark.stats.stats.data) * 1000.0
+    assert report is not None
+
+
+def test_register_table(benchmark):
+    def render() -> str:
+        lines = [
+            f"{'Use case':<10}{'ET on (ms)':>12}{'ET off (ms)':>13}"
+            f"{'saved':>8}",
+            "-" * 45,
+        ]
+        for name in _CASES:
+            medians = _MEDIANS.get(name, {})
+            if "on" not in medians or "off" not in medians:
+                continue
+            saved = 100.0 * (1 - medians["on"] / medians["off"])
+            lines.append(
+                f"{name:<10}{medians['on']:>12.3f}"
+                f"{medians['off']:>13.3f}{saved:>7.0f}%"
+            )
+        return "\n".join(lines)
+
+    text = benchmark(render)
+    register_artefact(
+        "Ablation A3: early termination (Alg. 2) on vs off", text
+    )

@@ -1,0 +1,32 @@
+"""Table 3 -- the use-case queries.
+
+Benchmarks canonicalization of each query of Table 3 and registers the
+query catalog (with canonical trees and breakpoints) for printing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import render_table3
+from repro.core import canonicalize
+from repro.workloads import QUERIES, get_database
+
+from conftest import register_artefact
+
+QUERY_NAMES = sorted(QUERIES, key=lambda q: (len(q), q))
+
+
+@pytest.mark.parametrize("query", QUERY_NAMES)
+def test_canonicalize(benchmark, query):
+    """Time the canonicalization of one Table 3 query."""
+    db_name, builder = QUERIES[query]
+    schema = get_database(db_name).schema
+    canonical = benchmark(lambda: canonicalize(builder(), schema))
+    assert canonical.root is not None
+
+
+def test_register_catalog(benchmark):
+    """Render the full catalog (and time the rendering)."""
+    text = benchmark(render_table3)
+    register_artefact("Table 3: use case queries (canonical trees)", text)

@@ -1,0 +1,47 @@
+"""Table 5 -- Why-Not vs NedExplain answers per use case.
+
+Benchmarks each use case end to end with NedExplain and regenerates
+the answers table.  Qualitative sanity checks mirror the paper's
+Sec. 4.2 observations (the integration tests assert them in depth;
+here we only guard the headline contrasts so a broken benchmark is
+caught immediately).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import render_table5, run_use_case
+from repro.core import NedExplain
+from repro.workloads import USE_CASES, use_case_setup
+
+from conftest import register_artefact
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("name", [uc.name for uc in USE_CASES])
+def test_use_case_answers(benchmark, name):
+    """Time one NedExplain explanation; collect the answers."""
+    use_case, database, canonical = use_case_setup(name)
+    engine = NedExplain(canonical, database=database)
+    report = benchmark(engine.explain, use_case.predicate)
+    assert not any(a.answer_not_missing for a in report.answers)
+    _RESULTS[name] = run_use_case(name)
+
+
+def test_register_table(benchmark):
+    results = benchmark(
+        lambda: [_RESULTS.get(uc.name) or run_use_case(uc.name)
+                 for uc in USE_CASES]
+    )
+    # headline contrasts of Sec. 4.2
+    by_name = {r.use_case.name: r for r in results}
+    assert by_name["Crime8"].whynot.is_empty()
+    assert not by_name["Crime8"].ned.is_empty()
+    assert by_name["Imdb2"].whynot.is_empty()
+    assert by_name["Crime9"].whynot_na
+    register_artefact(
+        "Table 5: Why-Not and NedExplain answers",
+        render_table5(results),
+    )

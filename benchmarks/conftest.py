@@ -1,0 +1,41 @@
+"""Shared infrastructure for the benchmark suite.
+
+Benchmarks register rendered artefacts (the reproduced tables and
+figures) in a session-wide registry; everything is printed after the
+pytest-benchmark summary so a single
+
+    pytest benchmarks/ --benchmark-only
+
+run regenerates Table 3-5 and Figures 5-6 alongside the timing stats.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: ordered artefact registry: title -> rendered text
+ARTEFACTS: dict[str, str] = {}
+
+
+def register_artefact(title: str, text: str) -> None:
+    """Record a rendered table/figure for end-of-session printing."""
+    ARTEFACTS[title] = text
+
+
+@pytest.fixture(scope="session")
+def artefacts():
+    """Expose the registry to benchmarks."""
+    return ARTEFACTS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not ARTEFACTS:
+        return
+    print("\n")
+    print("=" * 78)
+    print("REPRODUCED EVALUATION ARTEFACTS")
+    print("=" * 78)
+    for title, text in ARTEFACTS.items():
+        print()
+        print(f"--- {title} ---")
+        print(text)

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables pip's
+legacy editable-install path (`setup.py develop`).
+"""
+
+from setuptools import setup
+
+setup()

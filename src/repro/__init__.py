@@ -1,0 +1,118 @@
+"""repro -- NedExplain: query-based why-not provenance.
+
+A complete, self-contained reproduction of *"Query-Based Why-Not
+Provenance with NedExplain"* (Bidoit, Herschel, Tzompanaki, EDBT 2014):
+
+* :mod:`repro.relational` -- relational substrate (data model, SPJA
+  algebra, lineage-tracing evaluator, in-memory database, SQL frontend);
+* :mod:`repro.core` -- the NedExplain algorithm and its formal
+  framework (c-tuples, compatibility, canonical trees, picky
+  subqueries, detailed/condensed/secondary answers);
+* :mod:`repro.baseline` -- the Why-Not algorithm of Chapman & Jagadish
+  (SIGMOD 2009), the paper's comparison baseline, reproduced with its
+  documented shortcomings;
+* :mod:`repro.workloads` -- the crime / imdb / gov evaluation
+  databases, queries Q1-Q12 and use cases of Tables 3-4;
+* :mod:`repro.bench` -- the harness regenerating Table 5 and
+  Figures 5-6.
+
+Quick start::
+
+    from repro import Database, SPJASpec, JoinPair, canonicalize, NedExplain
+
+    db = Database()
+    ...  # create tables, insert rows
+    canonical = canonicalize(spec, db.schema)
+    report = NedExplain(canonical, database=db).explain(
+        "(P.name: Hank, C.type: 'Car theft')"
+    )
+    print(report.summary())
+"""
+
+from . import baseline, bench, core, relational, workloads
+from .core import (
+    CanonicalQuery,
+    CTuple,
+    JoinPair,
+    NedExplain,
+    NedExplainConfig,
+    NedExplainReport,
+    Predicate,
+    SPJASpec,
+    UnionSpec,
+    canonical_from_tree,
+    canonicalize,
+    nedexplain,
+    parse_predicate,
+    why_not,
+)
+from .core.repairs import suggest_repairs, verify_repair
+from .errors import ReproError
+from .relational import (
+    AggregateCall,
+    Database,
+    DatabaseInstance,
+    Renaming,
+    Tuple,
+    attr_attr_cmp,
+    attr_cmp,
+    evaluate_query,
+)
+from .relational.csv_io import load_database, save_database
+from .relational.sql import sql_to_canonical
+
+
+def explain_sql(
+    database: Database,
+    sql: str,
+    why_not_question: str,
+    config: NedExplainConfig | None = None,
+) -> NedExplainReport:
+    """One-call convenience API: SQL in, why-not answers out.
+
+    >>> report = explain_sql(db, "SELECT ...", "(A.name: Homer)")
+    >>> print(report.summary())
+    """
+    canonical = sql_to_canonical(sql, database.schema)
+    engine = NedExplain(canonical, database=database, config=config)
+    return engine.explain(why_not_question)
+
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateCall",
+    "CanonicalQuery",
+    "CTuple",
+    "Database",
+    "DatabaseInstance",
+    "JoinPair",
+    "NedExplain",
+    "NedExplainConfig",
+    "NedExplainReport",
+    "Predicate",
+    "Renaming",
+    "ReproError",
+    "SPJASpec",
+    "Tuple",
+    "UnionSpec",
+    "attr_attr_cmp",
+    "attr_cmp",
+    "baseline",
+    "bench",
+    "canonical_from_tree",
+    "canonicalize",
+    "core",
+    "evaluate_query",
+    "explain_sql",
+    "load_database",
+    "nedexplain",
+    "parse_predicate",
+    "relational",
+    "save_database",
+    "sql_to_canonical",
+    "suggest_repairs",
+    "verify_repair",
+    "why_not",
+    "workloads",
+]

@@ -1,0 +1,159 @@
+"""Unpicked data items -- the Why-Not baseline's notion of compatibles.
+
+The Why-Not algorithm of Chapman & Jagadish (SIGMOD 2009) selects
+*unpicked data items*: "input tuples that contain pieces of data of the
+missing answer" (paper, Sec. 1).  Two deliberate differences from
+NedExplain's compatibility (Def. 2.8) reproduce the baseline's
+documented failures:
+
+* matching is **per attribute-value pair, independently** -- the
+  requirement that pairs referencing one relation co-occur in one tuple
+  is absent, so a question like *(name: Homer, price: 49)* is "found"
+  even when the two values never meet in one result tuple;
+* attributes are matched by **unqualified name** against every
+  relation -- the question's ``C2.type`` also selects items from the
+  self-joined alias ``C1`` (the Crime6/Crime7 failure), and a renamed
+  output attribute like Imdb2's ``name`` selects from every relation
+  exposing a ``name`` column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.algebra import Join, Query, Union
+from ..relational.conditions import Var, is_satisfiable
+from ..relational.instance import DatabaseInstance
+from ..relational.tuples import Tuple, Value, unqualified_name
+from ..core.whynot_question import CTuple, Predicate
+
+
+@dataclass(frozen=True)
+class AttributeConstraint:
+    """One attribute-value pair of the question, taken in isolation."""
+
+    #: the attribute as written in the question (possibly qualified)
+    attribute: str
+    #: the unqualified names used for matching (the attribute's own
+    #: short name, expanded through the query's renamings)
+    short_names: frozenset[str]
+    #: constant value, or None when the entry is a variable
+    constant: Value | None
+    #: variable name when the entry is a variable
+    variable: str | None
+    #: the c-tuple's condition (checked for satisfiability per binding)
+    ctuple: CTuple
+
+    def matches(self, value: Value) -> bool:
+        if self.variable is None:
+            return value == self.constant
+        return is_satisfiable(
+            self.ctuple.condition, {self.variable: value}
+        )
+
+
+@dataclass(frozen=True)
+class UnpickedItem:
+    """A source tuple selected for one attribute constraint."""
+
+    tuple: Tuple
+    alias: str
+    constraint: AttributeConstraint
+
+    @property
+    def tid(self) -> str:
+        assert self.tuple.tid is not None
+        return self.tuple.tid
+
+
+def _renaming_origins(root: Query) -> dict[str, list[str]]:
+    """Map renamed attribute -> its origin attributes, per join/union."""
+    origins: dict[str, list[str]] = {}
+    for node in root.postorder():
+        if isinstance(node, (Join, Union)):
+            for triple in node.renaming:
+                origins.setdefault(triple.new, []).extend(
+                    (triple.left, triple.right)
+                )
+    return origins
+
+
+def _expanded_short_names(attribute: str, root: Query) -> frozenset[str]:
+    """Unqualified names the constraint may match.
+
+    The original algorithm knows the workflow structure, so an output
+    attribute introduced by a renaming is matched through its origins
+    -- but, crucially, *without* keeping the alias qualification.
+    """
+    origins = _renaming_origins(root)
+    expanded: set[str] = set()
+    frontier = [attribute]
+    while frontier:
+        current = frontier.pop()
+        if current in origins:
+            frontier.extend(origins[current])
+        else:
+            expanded.add(unqualified_name(current))
+    return frozenset(expanded)
+
+
+def attribute_constraints(
+    predicate: Predicate, root: Query
+) -> list[AttributeConstraint]:
+    """Split the question into independent attribute constraints."""
+    out: list[AttributeConstraint] = []
+    for tc in predicate:
+        for attribute, entry in tc.entries():
+            short_names = _expanded_short_names(attribute, root)
+            if isinstance(entry, Var):
+                constraint = AttributeConstraint(
+                    attribute=attribute,
+                    short_names=short_names,
+                    constant=None,
+                    variable=entry.name,
+                    ctuple=tc,
+                )
+            else:
+                constraint = AttributeConstraint(
+                    attribute=attribute,
+                    short_names=short_names,
+                    constant=entry,
+                    variable=None,
+                    ctuple=tc,
+                )
+            out.append(constraint)
+    return out
+
+
+def find_unpicked_items(
+    predicate: Predicate, instance: DatabaseInstance, root: Query
+) -> list[UnpickedItem]:
+    """All unpicked data items over the query input instance.
+
+    Every relation whose schema exposes an attribute with one of the
+    constraint's unqualified names is searched -- including other
+    aliases of a self-joined relation.
+    """
+    items: list[UnpickedItem] = []
+    constraints = attribute_constraints(predicate, root)
+    for alias in instance.relation_names():
+        relation = instance.relation(alias)
+        schema_attrs = {
+            unqualified_name(a): a for a in relation.schema.type
+        }
+        for constraint in constraints:
+            matched = [
+                schema_attrs[name]
+                for name in sorted(constraint.short_names)
+                if name in schema_attrs
+            ]
+            if not matched:
+                continue
+            for t in relation:
+                if any(constraint.matches(t[q]) for q in matched):
+                    items.append(
+                        UnpickedItem(
+                            tuple=t, alias=alias, constraint=constraint
+                        )
+                    )
+    return items

@@ -1,0 +1,28 @@
+"""Benchmark harness: runners, phase accounting, table/figure renderers
+for the paper's evaluation (Table 5, Fig. 5, Fig. 6)."""
+
+from .phases import PhaseAccumulator, dominant_phase, merge_accumulators
+from .report import (
+    render_all,
+    render_fig5,
+    render_fig6,
+    render_table3,
+    render_table4,
+    render_table5,
+)
+from .runner import UseCaseResult, run_all, run_use_case
+
+__all__ = [
+    "PhaseAccumulator",
+    "UseCaseResult",
+    "dominant_phase",
+    "merge_accumulators",
+    "render_all",
+    "render_fig5",
+    "render_fig6",
+    "render_table3",
+    "render_table4",
+    "render_table5",
+    "run_all",
+    "run_use_case",
+]

@@ -1,0 +1,61 @@
+"""Phase accounting helpers (the four phases of Fig. 5).
+
+NedExplain itself accumulates per-phase wall-clock time (see
+:data:`repro.core.nedexplain.PHASES`); this module aggregates those
+measurements across runs and renders distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..core.nedexplain import PHASES
+
+
+@dataclass
+class PhaseAccumulator:
+    """Accumulates phase timings over repeated runs."""
+
+    totals: dict[str, float] = field(
+        default_factory=lambda: {phase: 0.0 for phase in PHASES}
+    )
+    runs: int = 0
+
+    def add(self, phase_times_ms: Mapping[str, float]) -> None:
+        for phase in PHASES:
+            self.totals[phase] += phase_times_ms.get(phase, 0.0)
+        self.runs += 1
+
+    @property
+    def grand_total_ms(self) -> float:
+        return sum(self.totals.values())
+
+    def mean_ms(self, phase: str) -> float:
+        if not self.runs:
+            return 0.0
+        return self.totals[phase] / self.runs
+
+    def distribution(self) -> dict[str, float]:
+        """Phase -> share of total time, in percent."""
+        total = self.grand_total_ms or 1e-9
+        return {
+            phase: 100.0 * self.totals[phase] / total for phase in PHASES
+        }
+
+
+def merge_accumulators(
+    accumulators: Iterable[PhaseAccumulator],
+) -> PhaseAccumulator:
+    """Combine several accumulators into one."""
+    merged = PhaseAccumulator()
+    for accumulator in accumulators:
+        for phase in PHASES:
+            merged.totals[phase] += accumulator.totals[phase]
+        merged.runs += accumulator.runs
+    return merged
+
+
+def dominant_phase(phase_times_ms: Mapping[str, float]) -> str:
+    """The phase consuming the largest share of one run."""
+    return max(PHASES, key=lambda phase: phase_times_ms.get(phase, 0.0))

@@ -1,0 +1,93 @@
+"""Per-use-case measurement runner for the evaluation harness.
+
+Runs one use case with NedExplain and/or the Why-Not baseline and
+collects answers plus phase timings -- the raw material of the paper's
+Table 5 (answers), Fig. 5 (NedExplain phase distribution) and Fig. 6
+(total runtime comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baseline import WhyNotBaseline, WhyNotBaselineReport
+from ..core import NedExplain, NedExplainConfig, NedExplainReport
+from ..errors import UnsupportedQueryError
+from ..workloads.usecases import UseCase, use_case_setup
+
+
+@dataclass
+class UseCaseResult:
+    """Measured outcome of one use case."""
+
+    use_case: UseCase
+    ned: NedExplainReport
+    whynot: WhyNotBaselineReport | None = None
+    whynot_na: bool = False
+
+    @property
+    def ned_total_ms(self) -> float:
+        return self.ned.total_time_ms
+
+    @property
+    def whynot_total_ms(self) -> float | None:
+        if self.whynot is None:
+            return None
+        return self.whynot.total_time_ms
+
+    def ned_answer_text(self) -> str:
+        parts = []
+        for answer in self.ned.answers:
+            if answer.no_compatible_data:
+                parts.append("{}")
+                continue
+            rendered = ", ".join(repr(e) for e in answer.detailed)
+            parts.append("{" + rendered + "}")
+        return " ; ".join(parts)
+
+    def whynot_answer_text(self) -> str:
+        if self.whynot_na:
+            return "n.a."
+        assert self.whynot is not None
+        if self.whynot.is_empty():
+            return "(none)"
+        return ", ".join(self.whynot.answer_labels)
+
+
+def run_use_case(
+    name: str,
+    scale: int = 1,
+    run_baseline: bool = True,
+    config: NedExplainConfig | None = None,
+) -> UseCaseResult:
+    """Run one named use case with both algorithms."""
+    use_case, database, canonical = use_case_setup(name, scale)
+    ned_engine = NedExplain(canonical, database=database, config=config)
+    ned_report = ned_engine.explain(use_case.predicate)
+
+    whynot_report: WhyNotBaselineReport | None = None
+    whynot_na = False
+    if run_baseline:
+        try:
+            baseline = WhyNotBaseline(canonical, database=database)
+            whynot_report = baseline.explain(use_case.predicate)
+        except UnsupportedQueryError:
+            whynot_na = True
+    return UseCaseResult(
+        use_case=use_case,
+        ned=ned_report,
+        whynot=whynot_report,
+        whynot_na=whynot_na,
+    )
+
+
+def run_all(
+    scale: int = 1, config: NedExplainConfig | None = None
+) -> list[UseCaseResult]:
+    """Run every use case of Table 4."""
+    from ..workloads.usecases import USE_CASES
+
+    return [
+        run_use_case(uc.name, scale=scale, config=config)
+        for uc in USE_CASES
+    ]

@@ -1,0 +1,170 @@
+"""Command-line interface for NedExplain.
+
+Three subcommands:
+
+* ``explain`` -- load a CSV database, run a SQL query, and answer a
+  Why-Not question::
+
+      python -m repro.cli explain --data ./mydb \\
+          --sql "SELECT A.name FROM A WHERE A.dob > -800" \\
+          --why-not "(A.name: Homer)" [--baseline] [--repairs]
+
+* ``demo`` -- run one of the paper's use cases end to end::
+
+      python -m repro.cli demo Crime5
+
+* ``evaluate`` -- regenerate the answers table (Table 5) over all use
+  cases::
+
+      python -m repro.cli evaluate
+
+The CLI is a thin layer over the library; everything it prints comes
+from the public API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .baseline import WhyNotBaseline
+from .core import NedExplain
+from .core.repairs import suggest_repairs, verify_repair
+from .errors import ReproError, UnsupportedQueryError
+from .relational.csv_io import load_database
+from .relational.evaluator import evaluate_query
+from .relational.sql import sql_to_canonical
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nedexplain",
+        description="Query-based why-not provenance (EDBT 2014)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    explain = commands.add_parser(
+        "explain", help="answer a why-not question over CSV data"
+    )
+    explain.add_argument(
+        "--data", required=True, help="directory of CSV files"
+    )
+    explain.add_argument("--sql", required=True, help="the SQL query")
+    explain.add_argument(
+        "--why-not",
+        required=True,
+        dest="why_not",
+        help="predicate, e.g. \"(A.name: Homer)\"",
+    )
+    explain.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the Why-Not baseline for comparison",
+    )
+    explain.add_argument(
+        "--repairs",
+        action="store_true",
+        help="suggest (and verify) selection relaxations",
+    )
+    explain.add_argument(
+        "--show-result",
+        action="store_true",
+        help="print the query result first",
+    )
+
+    demo = commands.add_parser(
+        "demo", help="run one of the paper's use cases"
+    )
+    demo.add_argument("use_case", help="e.g. Crime5, Imdb2, Gov7")
+
+    commands.add_parser(
+        "evaluate", help="run all use cases and print the answers table"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "explain":
+            return _run_explain(args)
+        if args.command == "demo":
+            return _run_demo(args)
+        return _run_evaluate()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_explain(args) -> int:
+    database = load_database(args.data)
+    canonical = sql_to_canonical(args.sql, database.schema)
+    print("canonical query tree:")
+    print(canonical.pretty())
+    print()
+    if args.show_result:
+        result = evaluate_query(
+            canonical.root, database.instance(), canonical.aliases
+        )
+        print("query result:")
+        for row in result.result_values():
+            print("  ", row)
+        print()
+
+    engine = NedExplain(canonical, database=database)
+    report = engine.explain(args.why_not)
+    print("NedExplain:")
+    print(report.summary())
+
+    if args.repairs:
+        print()
+        suggestions = suggest_repairs(engine, report)
+        if not suggestions:
+            print("no selection relaxation can unblock this answer")
+        for suggestion in suggestions:
+            print("repair:", verify_repair(engine, suggestion))
+
+    if args.baseline:
+        print()
+        try:
+            baseline = WhyNotBaseline(canonical, database=database)
+            print("Why-Not baseline:")
+            print(baseline.explain(args.why_not).summary())
+        except UnsupportedQueryError as exc:
+            print(f"Why-Not baseline: n.a. ({exc})")
+    return 0
+
+
+def _run_demo(args) -> int:
+    from .bench import run_use_case
+    from .workloads import USE_CASE_INDEX
+
+    if args.use_case not in USE_CASE_INDEX:
+        print(
+            f"unknown use case {args.use_case!r}; choose from "
+            f"{', '.join(USE_CASE_INDEX)}",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_use_case(args.use_case)
+    use_case = result.use_case
+    print(f"use case {use_case.name}: query {use_case.query}")
+    print(f"why-not question: {use_case.predicate}")
+    print()
+    print("NedExplain:")
+    print(result.ned.summary())
+    print()
+    print("Why-Not baseline:", result.whynot_answer_text())
+    return 0
+
+
+def _run_evaluate() -> int:
+    from .bench import render_table5, run_all
+
+    print(render_table5(run_all()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

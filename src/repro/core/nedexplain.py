@@ -1,0 +1,418 @@
+"""The NedExplain algorithm (Sec. 3 of the paper, Algorithms 1-3).
+
+Given a canonical query tree, a database instance, and a Why-Not
+predicate, NedExplain:
+
+1. unrenames the predicate (Def. 2.7) and runs once per resulting
+   c-tuple (Alg. 1, outer loop);
+2. computes the direct/indirect compatible sets (CompatibleFinder);
+3. initializes ``TabQ`` and the secondary global structures;
+4. visits the subqueries in decreasing-depth order, evaluating each
+   manipulation on its input, finding the valid successors of the
+   compatible tuples (Alg. 3), and recording picky subqueries -- both
+   per blocked compatible origin (the ``(t_I, Q')`` pairs of Def. 2.12)
+   and per violated aggregation condition (the ``(⊥, Q')`` pairs);
+5. stops early when no compatible trace can survive
+   (checkEarlyTermination, Alg. 2);
+6. derives the secondary answer (Def. 2.14) from the survival of the
+   indirect relations.
+
+Phase timings (Initialization, CompatibleFinder, SuccessorsFinder,
+Bottom-Up) are accumulated exactly as Fig. 5 of the paper reports them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import WhyNotQuestionError
+from ..relational.algebra import Aggregate, Query
+from ..relational.database import Database
+from ..relational.instance import DatabaseInstance
+from ..relational.tuples import Tuple
+from .answers import DetailedEntry, NedExplainReport, WhyNotAnswer
+from .canonical import CanonicalQuery
+from .compatibility import (
+    CompatibilitySets,
+    CompatibleFinder,
+    tuple_matches_ctuple,
+)
+from .successors import find_successors
+from .tabq import TabEntry, TabQ
+from .unrename import unrename_ctuple
+from .whynot_question import CTuple, Predicate, parse_predicate
+
+#: The four phases of Fig. 5.
+PHASES = ("Initialization", "CompatibleFinder", "SuccessorsFinder", "BottomUp")
+
+
+@dataclass
+class NedExplainConfig:
+    """Tunable behaviour of the algorithm.
+
+    ``early_termination`` toggles Alg. 2 (ablation A3 of DESIGN.md);
+    ``compute_secondary`` toggles Def. 2.14; ``check_answer_presence``
+    reports when the "missing" answer is in fact present in the result.
+    """
+
+    early_termination: bool = True
+    compute_secondary: bool = True
+    check_answer_presence: bool = True
+
+
+class NedExplain:
+    """Reusable explainer for one canonical query over one database.
+
+    Parameters
+    ----------
+    canonical:
+        The canonicalized query (see :func:`repro.core.canonical.canonicalize`).
+    database:
+        A stored :class:`~repro.relational.database.Database`.  The
+        query input instance is derived through the canonical alias
+        mapping; CompatibleFinder uses the database's indexes.
+    instance:
+        Alternatively, a ready-made query input instance.
+    """
+
+    def __init__(
+        self,
+        canonical: CanonicalQuery,
+        database: Database | None = None,
+        instance: DatabaseInstance | None = None,
+        config: NedExplainConfig | None = None,
+    ):
+        if (database is None) == (instance is None):
+            raise WhyNotQuestionError(
+                "provide exactly one of database / instance"
+            )
+        self.canonical = canonical
+        self.config = config or NedExplainConfig()
+        if database is not None:
+            self.instance = database.input_instance(canonical.aliases)
+        else:
+            assert instance is not None
+            self.instance = instance
+        self.finder = CompatibleFinder(
+            self.instance, database, canonical.aliases
+        )
+        self._phases: dict[str, float] = {}
+        #: TabQ of each processed c-tuple from the last explain() call
+        self.last_tabqs: list[TabQ] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def explain(
+        self, predicate: Predicate | CTuple | str
+    ) -> NedExplainReport:
+        """Answer a Why-Not question; returns the full report."""
+        predicate = self._coerce(predicate)
+        predicate.validate_against(self.canonical.root)
+        self._phases = {phase: 0.0 for phase in PHASES}
+        self.last_tabqs = []
+
+        started = time.perf_counter()
+        pairs: list[tuple[CTuple, CTuple]] = []
+        for original in predicate:
+            for unrenamed in unrename_ctuple(self.canonical.root, original):
+                pairs.append((original, unrenamed))
+        self._phases["Initialization"] += (
+            time.perf_counter() - started
+        ) * 1000.0
+
+        answers: list[WhyNotAnswer] = []
+        for original, unrenamed in pairs:
+            answer, tabq = self._explain_ctuple(unrenamed)
+            if (
+                self.config.check_answer_presence
+                and tabq is not None
+            ):
+                root_entry = tabq.entry(self.canonical.root)
+                if root_entry.output is not None and any(
+                    tuple_matches_ctuple(t, original)
+                    for t in root_entry.output
+                ):
+                    answer.answer_not_missing = True
+            answers.append(answer)
+            if tabq is not None:
+                self.last_tabqs.append(tabq)
+        return NedExplainReport(tuple(answers), dict(self._phases))
+
+    def _coerce(self, predicate: Predicate | CTuple | str) -> Predicate:
+        if isinstance(predicate, str):
+            return parse_predicate(predicate)
+        if isinstance(predicate, CTuple):
+            return Predicate.of(predicate)
+        return predicate
+
+    # ------------------------------------------------------------------
+    # Alg. 1: main loop for one unrenamed c-tuple
+    # ------------------------------------------------------------------
+    def _explain_ctuple(
+        self, tc: CTuple
+    ) -> tuple[WhyNotAnswer, TabQ | None]:
+        started = time.perf_counter()
+        compat = self.finder.find(tc)
+        self._phases["CompatibleFinder"] += (
+            time.perf_counter() - started
+        ) * 1000.0
+
+        if compat.is_empty:
+            return (
+                WhyNotAnswer(ctuple=tc, no_compatible_data=True),
+                None,
+            )
+
+        started = time.perf_counter()
+        tabq = TabQ(self.canonical.root, self.instance, compat)
+        self._phases["Initialization"] += (
+            time.perf_counter() - started
+        ) * 1000.0
+
+        detailed: list[DetailedEntry] = []
+        for index in range(len(tabq)):
+            entry = tabq[index]
+            if self.config.early_termination and self._check_early_termination(
+                tabq, index
+            ):
+                break
+            self._process_entry(tabq, entry, compat, tc, detailed)
+
+        secondary: tuple[Query, ...] = ()
+        if self.config.compute_secondary:
+            started = time.perf_counter()
+            picky_nodes = {id(e.subquery) for e in detailed}
+            secondary = self._secondary_answer(tabq, compat, picky_nodes)
+            self._phases["BottomUp"] += (
+                time.perf_counter() - started
+            ) * 1000.0
+
+        answer = WhyNotAnswer(
+            ctuple=tc,
+            detailed=tuple(detailed),
+            secondary=secondary,
+            empty_outputs=tuple(
+                e.node for e in tabq.empty_output_man
+            ),
+        )
+        return answer, tabq
+
+    def _process_entry(
+        self,
+        tabq: TabQ,
+        entry: TabEntry,
+        compat: CompatibilitySets,
+        tc: CTuple,
+        detailed: list[DetailedEntry],
+    ) -> None:
+        started = time.perf_counter()
+        node = entry.node
+        if entry.is_leaf:
+            inputs = [entry.input]
+        else:
+            inputs = [
+                list(tabq.entry(child).output or [])
+                for child in node.children
+            ]
+            entry.input = [t for part in inputs for t in part]
+        entry.output = node.apply(inputs)
+        parent = entry.parent
+        if not entry.output:
+            tabq.mark_empty(entry)
+        self._phases["BottomUp"] += (
+            time.perf_counter() - started
+        ) * 1000.0
+
+        if entry.is_leaf:
+            if entry.compatibles:
+                if parent is not None:
+                    parent.add_compatibles(entry.compatibles)
+                tabq.mark_non_picky(entry)
+            return
+
+        # Alg. 3: FindSuccessors
+        started = time.perf_counter()
+        step = find_successors(
+            entry.output,
+            entry.compatibles,
+            compat.valid_tids,
+            compat.dir_tids,
+        )
+        if parent is not None:
+            parent.add_compatibles(step.successors)
+        if step.successors:
+            tabq.mark_non_picky(entry)
+        if step.blocked:
+            tabq.mark_picky(entry, step.blocked)
+        for origin in sorted(step.died):
+            detailed.append(DetailedEntry(origin, node))
+
+        # Aggregation-condition check (Def. 2.12, second part): applies
+        # to nodes strictly above the breakpoint V of an aggregation.
+        aggregate = self._relevant_aggregate(node)
+        if aggregate is not None:
+            tc_agg = tc.restricted_to(
+                set(aggregate.group_by) | set(aggregate.aggregated_attributes)
+            )
+            if tc_agg is not None:
+                admits_in = self._admits(aggregate, entry.compatibles, tc_agg)
+                admits_out = self._admits(
+                    aggregate, list(step.successors), tc_agg
+                )
+                already = any(
+                    e.subquery is node and e.tid is not None
+                    for e in detailed
+                )
+                if (
+                    admits_in is True
+                    and admits_out is False
+                    and not already
+                ):
+                    detailed.append(DetailedEntry(None, node))
+                    if not step.blocked:
+                        tabq.mark_picky(entry, ())
+        self._phases["SuccessorsFinder"] += (
+            time.perf_counter() - started
+        ) * 1000.0
+
+    # ------------------------------------------------------------------
+    # Alg. 2: checkEarlyTermination
+    # ------------------------------------------------------------------
+    def _check_early_termination(self, tabq: TabQ, index: int) -> bool:
+        if index == 0:
+            return False
+        entry = tabq[index]
+        previous = tabq[index - 1]
+        if entry.level == previous.level:
+            return False
+        # 1) any non-picky subquery at the previous (deeper) level?
+        j = index - 1
+        while j >= 0 and tabq[j].level == previous.level:
+            if tabq[j] in tabq.non_picky_man:
+                return False
+            j -= 1
+        # 2) any untouched relation leaf that could still introduce
+        #    compatible tuples?
+        k = index
+        while k < len(tabq):
+            if tabq[k].op == "relation schema":
+                return False
+            k += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Aggregation-condition support
+    # ------------------------------------------------------------------
+    def _relevant_aggregate(self, node: Query) -> Aggregate | None:
+        """The aggregation whose breakpoint V is a *proper* subquery of
+        *node*, if the two belong to the same union branch."""
+        for aggregate in self.canonical.aggregate_nodes():
+            breakpoint = self._breakpoint_of(aggregate)
+            if breakpoint is None or breakpoint is node:
+                continue
+            if not breakpoint.is_subquery_of(node):
+                continue
+            if node.is_subquery_of(aggregate) or aggregate.is_subquery_of(
+                node
+            ):
+                return aggregate
+        return None
+
+    def _breakpoint_of(self, aggregate: Aggregate) -> Query | None:
+        for candidate in self.canonical.breakpoints:
+            if candidate.is_subquery_of(aggregate):
+                return candidate
+        return None
+
+    def _admits(
+        self,
+        aggregate: Aggregate,
+        tuples: list[Tuple],
+        tc_agg: CTuple,
+    ) -> bool | None:
+        """Does this tuple set still admit the constrained aggregate?
+
+        Applies ``alpha_{G,F}`` to *tuples* (unless they already carry
+        the aggregated attributes) and checks whether any resulting
+        tuple is compatible with the G/Agg restriction of the c-tuple.
+        Returns ``None`` when the check is not decidable at this node
+        (attributes no longer visible).
+        """
+        needed_direct = tc_agg.type
+        if tuples and needed_direct <= tuples[0].type:
+            candidates = tuples
+        elif not tuples or aggregate.needed_attributes <= tuples[0].type:
+            candidates = aggregate.aggregate_tuples(tuples)
+        else:
+            return None
+        return any(
+            tuple_matches_ctuple(t, tc_agg) for t in candidates
+        )
+
+    # ------------------------------------------------------------------
+    # Def. 2.14: secondary answer
+    # ------------------------------------------------------------------
+    def _secondary_answer(
+        self,
+        tabq: TabQ,
+        compat: CompatibilitySets,
+        picky_nodes: set[int],
+    ) -> tuple[Query, ...]:
+        out: list[Query] = []
+        seen: set[int] = set()
+        for alias in sorted(compat.indirect_aliases):
+            blocker = self._relation_blocker(tabq, alias)
+            if blocker is None:
+                continue
+            node = blocker.node
+            # complement the primary answer: a subquery already blamed
+            # by the detailed answer is not repeated here
+            if id(node) in picky_nodes or id(node) in seen:
+                continue
+            seen.add(id(node))
+            out.append(node)
+        return tuple(out)
+
+    def _relation_blocker(
+        self, tabq: TabQ, alias: str
+    ) -> TabEntry | None:
+        """Lowest evaluated subquery after which no tuple of *alias*
+        has any (plain) successor."""
+        leaf_entry = None
+        for entry in tabq:
+            if entry.is_leaf and entry.node.name == alias:
+                leaf_entry = entry
+                break
+        if leaf_entry is None or not leaf_entry.input:
+            return None  # empty stored relation: no d in I|S exists
+        prefix = f"{alias}:"
+        current: TabEntry | None = leaf_entry
+        while current is not None and current.output is not None:
+            alive = any(
+                any(tid.startswith(prefix) for tid in t.lineage)
+                for t in current.output
+            )
+            if not alive:
+                return current
+            current = current.parent
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry point
+# ---------------------------------------------------------------------------
+def nedexplain(
+    canonical: CanonicalQuery,
+    predicate: Predicate | CTuple | str,
+    database: Database | None = None,
+    instance: DatabaseInstance | None = None,
+    config: NedExplainConfig | None = None,
+) -> NedExplainReport:
+    """One-shot API: explain *predicate* against *canonical* query."""
+    engine = NedExplain(
+        canonical, database=database, instance=instance, config=config
+    )
+    return engine.explain(predicate)

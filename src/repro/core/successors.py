@@ -1,0 +1,100 @@
+"""Valid successors of compatible tuples (Notation 2.1 / Alg. 3).
+
+For one manipulation ``m`` with compatible input tuples
+``m.Compatibles`` and output ``m.Output``, the *valid successors* are
+the output tuples
+
+* whose full (base) lineage is contained in ``D = Dir | InDir`` -- the
+  validity requirement that fixes the baseline's "traced through
+  foreign data" failures (use cases Crime8, Imdb2), and
+* that directly succeed at least one compatible input tuple (some
+  parent is in ``m.Compatibles``).
+
+The module also tracks, per *direct compatible origin* (a tuple of
+``Dir_tc``), whether its trace is still alive -- the information the
+detailed answer (Def. 2.12) reports as ``(t_I, Q')`` pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..relational.tuples import Tuple
+
+
+@dataclass(frozen=True)
+class SuccessorStep:
+    """Outcome of one FindSuccessors application (Alg. 3)."""
+
+    #: valid successors found in the output
+    successors: tuple[Tuple, ...]
+    #: compatible input tuples with no valid successor (TabQ's Blocked)
+    blocked: tuple[Tuple, ...]
+    #: Dir-origin tids alive in the compatible input
+    origins_in: frozenset[str]
+    #: Dir-origin tids still alive among the valid successors
+    origins_out: frozenset[str]
+
+    @property
+    def died(self) -> frozenset[str]:
+        """Origins whose trace ends at this manipulation."""
+        return self.origins_in - self.origins_out
+
+
+def find_successors(
+    output: Sequence[Tuple],
+    compatibles: Sequence[Tuple],
+    valid_tids: frozenset[str],
+    dir_tids: frozenset[str],
+) -> SuccessorStep:
+    """Compute the valid successors of *compatibles* in *output*.
+
+    Mirrors Alg. 3: an output tuple is kept when its lineage lies
+    within ``valid_tids`` (``Dir | InDir``) and it derives directly
+    from a compatible input tuple.
+    """
+    compatible_set = set(compatibles)
+    successors: list[Tuple] = []
+    for candidate in output:
+        if not candidate.lineage <= valid_tids:
+            continue
+        if _derives_from_compatible(candidate, compatible_set):
+            successors.append(candidate)
+
+    survived: set[Tuple] = set()
+    for successor in successors:
+        for parent in successor.parents:
+            if parent in compatible_set:
+                survived.add(parent)
+        if not successor.parents and successor in compatible_set:
+            survived.add(successor)
+    blocked = tuple(c for c in compatibles if c not in survived)
+
+    origins_in = _origins(compatibles, dir_tids)
+    origins_out = _origins(successors, dir_tids)
+    return SuccessorStep(
+        successors=tuple(successors),
+        blocked=blocked,
+        origins_in=origins_in,
+        origins_out=origins_out,
+    )
+
+
+def _derives_from_compatible(
+    candidate: Tuple, compatible_set: set[Tuple]
+) -> bool:
+    if not candidate.parents:
+        # leaves copy their input: the tuple is its own predecessor
+        return candidate in compatible_set
+    return any(parent in compatible_set for parent in candidate.parents)
+
+
+def _origins(
+    tuples: Iterable[Tuple], dir_tids: frozenset[str]
+) -> frozenset[str]:
+    """Dir-origin tids occurring in the lineage of *tuples*."""
+    alive: set[str] = set()
+    for t in tuples:
+        alive |= t.lineage & dir_tids
+    return frozenset(alive)

@@ -1,0 +1,168 @@
+"""The primary global structure ``TabQ`` (Sec. 3.1, step 2c).
+
+``TabQ`` stores, per subquery ``m`` of the canonical tree:
+
+* ``Input``  -- the input tuple set (outputs of the direct children;
+  the stored relation for leaves);
+* ``Output`` -- the output tuple set, filled during the bottom-up pass;
+* ``Compatibles`` -- compatible tuples in the input: the direct
+  compatible tuples at leaves, their valid successors upstream;
+* ``Level``  -- the depth of ``m`` (root = 0);
+* ``Parent`` -- the parent subquery;
+* ``Op``     -- the root operator of ``m`` (``"relation schema"`` for
+  leaves).
+
+Entries are ordered by decreasing level, left-to-right within a level
+-- the processing order of Alg. 1.  The secondary global structures
+(EmptyOutputMan, Non-PickyMan, PickyMan) live here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import EvaluationError
+from ..relational.algebra import Query, RelationLeaf, tabq_order
+from ..relational.instance import DatabaseInstance
+from ..relational.tuples import Tuple
+from .compatibility import CompatibilitySets
+
+
+@dataclass
+class TabEntry:
+    """One row of ``TabQ`` (cf. Table 1 of the paper)."""
+
+    node: Query
+    level: int
+    parent: "TabEntry | None" = None
+    input: list[Tuple] = field(default_factory=list)
+    output: list[Tuple] | None = None
+    compatibles: list[Tuple] = field(default_factory=list)
+    #: compatible inputs without valid successor (filled by Alg. 3)
+    blocked: tuple[Tuple, ...] = ()
+
+    @property
+    def op(self) -> str:
+        return self.node.op
+
+    @property
+    def label(self) -> str:
+        return self.node.name or self.node.describe()
+
+    @property
+    def is_leaf(self) -> bool:
+        return isinstance(self.node, RelationLeaf)
+
+    def add_compatibles(self, tuples: Iterator[Tuple] | list[Tuple]) -> None:
+        seen = set(self.compatibles)
+        for t in tuples:
+            if t not in seen:
+                seen.add(t)
+                self.compatibles.append(t)
+
+    def __repr__(self) -> str:
+        size = "?" if self.output is None else len(self.output)
+        return (
+            f"TabEntry({self.label}, level={self.level}, "
+            f"in={len(self.input)}, out={size}, "
+            f"compat={len(self.compatibles)})"
+        )
+
+
+class TabQ:
+    """The ordered table of subqueries plus the secondary structures."""
+
+    def __init__(
+        self,
+        root: Query,
+        instance: DatabaseInstance,
+        compat: CompatibilitySets,
+    ):
+        self.root = root
+        self._entries: list[TabEntry] = []
+        self._by_node: dict[int, TabEntry] = {}
+
+        ordered = tabq_order(root)
+        for node in ordered:
+            entry = TabEntry(node=node, level=root.depth_of(node))
+            self._entries.append(entry)
+            self._by_node[id(node)] = entry
+        for entry in self._entries:
+            parent = root.parent_of(entry.node)
+            if parent is not None:
+                entry.parent = self._by_node[id(parent)]
+
+        # Initialization (Sec. 3.1, 2c): leaves get their stored
+        # relation as input and Dir|Ri as compatibles.
+        for entry in self._entries:
+            if entry.is_leaf:
+                leaf = entry.node
+                assert isinstance(leaf, RelationLeaf)
+                entry.input = list(instance.relation(leaf.alias))
+                entry.add_compatibles(
+                    list(compat.direct.get(leaf.alias, ()))
+                )
+
+        # Secondary global structures.
+        self.empty_output_man: list[TabEntry] = []
+        self.non_picky_man: list[TabEntry] = []
+        self.picky_man: list[tuple[TabEntry, tuple[Tuple, ...]]] = []
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index: int) -> TabEntry:
+        return self._entries[index]
+
+    def __iter__(self) -> Iterator[TabEntry]:
+        return iter(self._entries)
+
+    def entry(self, node: Query) -> TabEntry:
+        try:
+            return self._by_node[id(node)]
+        except KeyError:
+            raise EvaluationError(
+                f"node {node!r} is not part of this TabQ"
+            ) from None
+
+    def position(self, entry: TabEntry) -> int:
+        for index, candidate in enumerate(self._entries):
+            if candidate is entry:
+                return index
+        raise EvaluationError("entry is not part of this TabQ")
+
+    def mark_non_picky(self, entry: TabEntry) -> None:
+        if entry not in self.non_picky_man:
+            self.non_picky_man.append(entry)
+
+    def mark_picky(
+        self, entry: TabEntry, blocked: tuple[Tuple, ...]
+    ) -> None:
+        entry.blocked = blocked
+        self.picky_man.append((entry, blocked))
+
+    def mark_empty(self, entry: TabEntry) -> None:
+        if entry not in self.empty_output_man:
+            self.empty_output_man.append(entry)
+
+    # ------------------------------------------------------------------
+    # Display (the paper's Tables 1 / 2)
+    # ------------------------------------------------------------------
+    def dump(self) -> str:
+        """Render the table like Table 2 of the paper."""
+        lines = [
+            f"{'m':<8}{'lvl':<5}{'op':<16}{'in':<6}{'out':<6}"
+            f"{'compat':<8}{'blocked'}"
+        ]
+        for entry in self._entries:
+            out_size = "-" if entry.output is None else str(len(entry.output))
+            lines.append(
+                f"{entry.label:<8}{entry.level:<5}{entry.op:<16}"
+                f"{len(entry.input):<6}{out_size:<6}"
+                f"{len(entry.compatibles):<8}{len(entry.blocked)}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Predicate unrenaming (Def. 2.7 of the paper).
+
+A Why-Not predicate is stated over the query's *target type*, which may
+contain attributes introduced by join/union renamings (e.g. the ``name``
+attribute of use case Imdb2).  Answering the question requires tracing
+*source* tuples, so each c-tuple must be rewritten over the query's
+input schema: every renamed attribute ``Anew`` is replaced by its left
+origin ``A1`` on the left branch and its right origin ``A2`` on the
+right branch.
+
+Following Def. 2.7:
+
+* at a join, the two branch results are themselves *joined* (merged into
+  a single c-tuple carrying both origins -- see Ex. 2.2);
+* at a union, they are *disjoined* (the unrenamed predicate grows one
+  disjunct per branch);
+* projections, selections, and aggregations pass the c-tuple through
+  unchanged (aggregated attributes survive unrenaming; Def. 2.8 allows
+  them in compatibility checks and Def. 2.12 consumes their conditions
+  as ``tc.cond_alpha``).
+"""
+
+from __future__ import annotations
+
+from ..errors import WhyNotQuestionError
+from ..relational.algebra import Difference, Join, Query, RelationLeaf, Union
+from .whynot_question import CTuple, Predicate
+
+
+def unrename_ctuple(query: Query, tc: CTuple) -> list[CTuple]:
+    """Compute ``UnR_Q(tc)``: the disjunction of unrenamed c-tuples.
+
+    After the recursive inversion, attributes that are still join-
+    introduced names are residue (they travelled through a branch that
+    does not contain the introducing join) and are stripped -- their
+    constraints live on in the inverted origin copies, exactly as in
+    the paper's Ex. 2.2 where the final unrenamed predicate contains
+    ``A.aid`` and ``AB.aid`` but not ``aid``.
+    """
+    residue = _join_codomains(query)
+    out: list[CTuple] = []
+    for part in _unrename(query, tc):
+        keep = part.type - residue
+        stripped = part.restricted_to(keep)
+        if stripped is None:
+            raise WhyNotQuestionError(
+                f"unrenaming {tc!r} left no source attributes"
+            )
+        out.append(stripped)
+    return _dedupe(out)
+
+
+def _join_codomains(query: Query) -> frozenset[str]:
+    """All attribute names introduced by join renamings in the tree."""
+    names: set[str] = set()
+    for node in query.postorder():
+        if isinstance(node, Join):
+            names |= node.renaming.codomain
+    return frozenset(names)
+
+
+def _unrename(query: Query, tc: CTuple) -> list[CTuple]:
+    if isinstance(query, RelationLeaf):
+        return [tc]
+    if isinstance(query, Join):
+        left_tc = _invert(tc, query, side="left")
+        right_tc = _invert(tc, query, side="right")
+        left_parts = _unrename(query.left, left_tc)
+        right_parts = _unrename(query.right, right_tc)
+        merged: list[CTuple] = []
+        for lhs in left_parts:
+            for rhs in right_parts:
+                joined = lhs.merged_with(rhs)
+                if joined is not None:
+                    merged.append(joined)
+        if not merged:
+            raise WhyNotQuestionError(
+                f"unrenaming {tc!r} through {query!r} produced no "
+                "consistent c-tuple"
+            )
+        return merged
+    if isinstance(query, Union):
+        left_tc = _invert(tc, query, side="left")
+        right_tc = _invert(tc, query, side="right")
+        out: list[CTuple] = []
+        out.extend(_unrename(query.left, left_tc))
+        out.extend(_unrename(query.right, right_tc))
+        return _dedupe(out)
+    if isinstance(query, Difference):
+        # extension: the missing answer can only stem from the left
+        # branch -- the right branch *removes* data
+        left_tc = _invert(tc, query, side="left")
+        return _unrename(query.left, left_tc)
+    # unary pi / sigma / alpha: pass through
+    (child,) = query.children
+    return _unrename(child, tc)
+
+
+def unrename_predicate(query: Query, predicate: Predicate) -> list[CTuple]:
+    """Compute ``UnR_Q(P)`` for a whole predicate (Def. 2.7, last part).
+
+    The result is the flattened disjunction over all c-tuples of *P*;
+    NedExplain runs once per element (Sec. 3.1, step 1).
+    """
+    out: list[CTuple] = []
+    for tc in predicate:
+        out.extend(unrename_ctuple(query, tc))
+    return _dedupe(out)
+
+
+def _invert(tc: CTuple, node: Join | Union | Difference, side: str) -> CTuple:
+    """Apply ``nu|1^-1`` (or ``nu|2^-1``) to the c-tuple's attributes."""
+    renaming = node.renaming
+    mapping: dict[str, str] = {}
+    for attr in tc.type:
+        if side == "left":
+            origin = renaming.invert_left(attr)
+        else:
+            origin = renaming.invert_right(attr)
+        if origin != attr:
+            mapping[attr] = origin
+    if not mapping:
+        return tc
+    return tc.rename_attributes(mapping)
+
+
+def _dedupe(ctuples: list[CTuple]) -> list[CTuple]:
+    seen: set[CTuple] = set()
+    out: list[CTuple] = []
+    for tc in ctuples:
+        if tc not in seen:
+            seen.add(tc)
+            out.append(tc)
+    return out

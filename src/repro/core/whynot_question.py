@@ -1,0 +1,411 @@
+"""Why-Not questions: v-tuples, conditional tuples, predicates.
+
+Implements Defs. 2.4-2.6 of the paper.  A Why-Not question w.r.t. a
+query ``Q`` is a predicate ``P`` over ``Q``'s target type: a disjunction
+of *conditional tuples* (c-tuples).  A c-tuple pairs a v-tuple --
+attribute/value-or-variable pairs -- with a conjunctive condition over
+its variables (``x cop a`` / ``x cop y``, Def. 2.5).
+
+Example (the running example's question, Ex. 2.1)::
+
+    P = (A.name: "Homer", ap: $x1) with x1 > 25
+      | (A.name: $x2)             with x2 != "Homer" and x2 != "Sophocles"
+
+built as::
+
+    tc1 = CTuple({"A.name": "Homer", "ap": Var("x1")},
+                 var_cmp("x1", ">", 25))
+    tc2 = CTuple({"A.name": Var("x2")},
+                 And.of(var_cmp("x2", "!=", "Homer"),
+                        var_cmp("x2", "!=", "Sophocles")))
+    P = Predicate.of(tc1, tc2)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import WhyNotQuestionError
+from ..relational.algebra import Query
+from ..relational.conditions import (
+    And,
+    Comparison,
+    Condition,
+    Const,
+    TrueCondition,
+    Var,
+    var_cmp,
+)
+from ..relational.tuples import Value
+
+
+class CTuple:
+    """A conditional tuple ``(t_v, cond)`` (Def. 2.5).
+
+    Parameters
+    ----------
+    entries:
+        Mapping from attribute names (over the query's target type, or
+        unrenamed qualified/aggregated attributes) to either a constant
+        value or a :class:`~repro.relational.conditions.Var`.
+    condition:
+        Conjunction of comparisons over the v-tuple's variables.
+        Defaults to ``true``.
+    """
+
+    def __init__(
+        self,
+        entries: Mapping[str, Value | Var],
+        condition: Condition | None = None,
+    ):
+        if not entries:
+            raise WhyNotQuestionError("a c-tuple must have attributes")
+        self._entries: dict[str, Value | Var] = dict(entries)
+        self.condition: Condition = condition or TrueCondition()
+        if self.condition.attributes():
+            raise WhyNotQuestionError(
+                "c-tuple conditions range over variables, not attributes: "
+                f"{sorted(self.condition.attributes())}"
+            )
+        unknown = self.condition.variables() - self.variables()
+        if unknown:
+            raise WhyNotQuestionError(
+                f"condition references variables {sorted(unknown)} absent "
+                "from the v-tuple"
+            )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def type(self) -> frozenset[str]:
+        """The type of the c-tuple: its attribute set."""
+        return frozenset(self._entries)
+
+    def entries(self) -> Iterator[tuple[str, Value | Var]]:
+        return iter(self._entries.items())
+
+    def entry(self, attribute: str) -> Value | Var:
+        try:
+            return self._entries[attribute]
+        except KeyError:
+            raise WhyNotQuestionError(
+                f"c-tuple has no attribute {attribute!r}"
+            ) from None
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._entries
+
+    def constants(self) -> dict[str, Value]:
+        """Attribute -> constant for the constant-valued entries."""
+        return {
+            attr: entry
+            for attr, entry in self._entries.items()
+            if not isinstance(entry, Var)
+        }
+
+    def variable_entries(self) -> dict[str, str]:
+        """Attribute -> variable name for the variable entries."""
+        return {
+            attr: entry.name
+            for attr, entry in self._entries.items()
+            if isinstance(entry, Var)
+        }
+
+    def variables(self) -> frozenset[str]:
+        """All variable names of the v-tuple (the set ``X``)."""
+        return frozenset(self.variable_entries().values())
+
+    # ------------------------------------------------------------------
+    # Derivation (used by unrenaming)
+    # ------------------------------------------------------------------
+    def rename_attributes(self, mapping: Mapping[str, str]) -> "CTuple":
+        """Return a copy with attribute names rewritten via *mapping*."""
+        renamed: dict[str, Value | Var] = {}
+        for attr, entry in self._entries.items():
+            new_name = mapping.get(attr, attr)
+            if new_name in renamed and renamed[new_name] != entry:
+                raise WhyNotQuestionError(
+                    f"renaming collapses attribute {new_name!r} onto "
+                    "conflicting entries"
+                )
+            renamed[new_name] = entry
+        return CTuple(renamed, self.condition)
+
+    def merged_with(self, other: "CTuple") -> "CTuple | None":
+        """Join two c-tuples (the ``|><|`` of Def. 2.7).
+
+        Entries are combined; conditions are conjoined (duplicate
+        conjuncts dropped).  Returns ``None`` when the two tuples give
+        the same attribute conflicting entries (unsatisfiable branch).
+        """
+        combined: dict[str, Value | Var] = dict(self._entries)
+        for attr, entry in other._entries.items():
+            if attr in combined and combined[attr] != entry:
+                return None
+            combined[attr] = entry
+        conjuncts = list(
+            dict.fromkeys(
+                self.condition.conjuncts() + other.condition.conjuncts()
+            )
+        )
+        return CTuple(combined, And.of(*conjuncts))
+
+    def restricted_to(self, attributes: Iterable[str]) -> "CTuple | None":
+        """Restrict to *attributes*; ``None`` when nothing remains.
+
+        The condition keeps only the conjuncts whose variables are still
+        mentioned by the restricted v-tuple.
+        """
+        kept = {
+            attr: entry
+            for attr, entry in self._entries.items()
+            if attr in set(attributes)
+        }
+        if not kept:
+            return None
+        alive_vars = {
+            entry.name for entry in kept.values() if isinstance(entry, Var)
+        }
+        conjuncts = [
+            conj
+            for conj in self.condition.conjuncts()
+            if conj.variables() <= alive_vars
+        ]
+        return CTuple(kept, And.of(*conjuncts))
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CTuple):
+            return NotImplemented
+        return (
+            self._entries == other._entries
+            and self.condition == other.condition
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (frozenset(self._entries.items()), repr(self.condition))
+        )
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{attr}:{entry!r}" for attr, entry in sorted(self._entries.items())
+        )
+        if isinstance(self.condition, TrueCondition):
+            return f"({pairs})"
+        return f"(({pairs}), {self.condition!r})"
+
+
+class Predicate:
+    """A Why-Not question: a disjunction of c-tuples (Def. 2.6)."""
+
+    def __init__(self, ctuples: Iterable[CTuple]):
+        self.ctuples: tuple[CTuple, ...] = tuple(ctuples)
+        if not self.ctuples:
+            raise WhyNotQuestionError(
+                "a why-not predicate needs at least one c-tuple"
+            )
+
+    @classmethod
+    def of(cls, *ctuples: CTuple) -> "Predicate":
+        return cls(ctuples)
+
+    def __iter__(self) -> Iterator[CTuple]:
+        return iter(self.ctuples)
+
+    def __len__(self) -> int:
+        return len(self.ctuples)
+
+    def validate_against(self, query: Query) -> None:
+        """Check ``type(tc) <= T_Q`` for every c-tuple (Def. 2.6)."""
+        target = query.target_type
+        for tc in self.ctuples:
+            extra = tc.type - target
+            if extra:
+                raise WhyNotQuestionError(
+                    f"c-tuple {tc!r} references attributes "
+                    f"{sorted(extra)} outside the query target type "
+                    f"{sorted(target)}"
+                )
+
+    def __repr__(self) -> str:
+        return " | ".join(repr(tc) for tc in self.ctuples)
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+def why_not(**entries: Value) -> Predicate:
+    """Build a single-c-tuple predicate from constant attribute values.
+
+    Attribute names use ``__`` for the qualification dot, e.g.
+    ``why_not(P__name="Hank", C__type="Car theft")`` builds the
+    predicate ``(P.name:Hank, C.type:Car theft)`` of use case Crime1.
+    """
+    mapped = {name.replace("__", "."): value for name, value in entries.items()}
+    return Predicate.of(CTuple(mapped))
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse the paper's textual notation for Why-Not predicates.
+
+    Grammar (whitespace-insensitive)::
+
+        predicate := ctuple ("|" ctuple)*
+        ctuple    := "(" pairs ")" | "((" pairs ")," conds ")"
+        pairs     := attr ":" value ("," attr ":" value)*
+        value     := quoted string | number | $var | bareword
+        conds     := cond ("and" cond)*
+        cond      := $var op (value)          -- op in =,!=,<,>,<=,>=
+
+    Examples::
+
+        parse_predicate("(P.name: Hank, C.type: 'Car theft')")
+        parse_predicate("((P.name: Betsy, ct: $x), $x > 8)")
+        parse_predicate("(name: Avatar) | (name: 'Up')")
+    """
+    chunks = _split_top_level(text, "|")
+    return Predicate.of(*(_parse_ctuple(chunk) for chunk in chunks))
+
+
+def _split_top_level(text: str, separator: str) -> list[str]:
+    chunks: list[str] = []
+    depth = 0
+    current: list[str] = []
+    in_quote: str | None = None
+    for ch in text:
+        if in_quote:
+            current.append(ch)
+            if ch == in_quote:
+                in_quote = None
+            continue
+        if ch in "'\"":
+            in_quote = ch
+            current.append(ch)
+        elif ch == "(":
+            depth += 1
+            current.append(ch)
+        elif ch == ")":
+            depth -= 1
+            current.append(ch)
+        elif ch == separator and depth == 0:
+            chunks.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    chunks.append("".join(current))
+    return [c.strip() for c in chunks if c.strip()]
+
+
+def _parse_value(token: str) -> Value | Var:
+    token = token.strip()
+    if not token:
+        raise WhyNotQuestionError("empty value in predicate text")
+    if token.startswith("$"):
+        return Var(token[1:])
+    if token[0] in "'\"" and token[-1] == token[0] and len(token) >= 2:
+        return token[1:-1]
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token  # bareword string
+
+
+def _parse_ctuple(text: str) -> CTuple:
+    text = text.strip()
+    if not (text.startswith("(") and text.endswith(")")):
+        raise WhyNotQuestionError(
+            f"c-tuple must be parenthesised: {text!r}"
+        )
+    inner = text[1:-1].strip()
+    condition: Condition = TrueCondition()
+    if inner.startswith("("):
+        # form: "(pairs), conds"
+        close = _matching_paren(inner)
+        pairs_text = inner[1:close]
+        rest = inner[close + 1 :].strip()
+        if rest.startswith(","):
+            rest = rest[1:].strip()
+        if rest:
+            condition = _parse_conditions(rest)
+    else:
+        pairs_text = inner
+    entries: dict[str, Value | Var] = {}
+    for pair in _split_top_level(pairs_text, ","):
+        attr, sep, value = pair.partition(":")
+        if not sep:
+            raise WhyNotQuestionError(
+                f"expected 'attr: value' pair, got {pair!r}"
+            )
+        entries[attr.strip()] = _parse_value(value)
+    return CTuple(entries, condition)
+
+
+def _matching_paren(text: str) -> int:
+    depth = 0
+    for position, ch in enumerate(text):
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return position
+    raise WhyNotQuestionError(f"unbalanced parentheses in {text!r}")
+
+
+def _parse_conditions(text: str) -> Condition:
+    conjuncts: list[Condition] = []
+    for chunk in _split_conjuncts(text):
+        conjuncts.append(_parse_comparison(chunk))
+    return And.of(*conjuncts)
+
+
+def _split_conjuncts(text: str) -> list[str]:
+    # split on the keyword "and" outside quotes
+    parts: list[str] = []
+    current: list[str] = []
+    tokens = text.split()
+    for token in tokens:
+        if token.lower() == "and":
+            parts.append(" ".join(current))
+            current = []
+        else:
+            current.append(token)
+    parts.append(" ".join(current))
+    return [p for p in parts if p]
+
+
+def _parse_comparison(text: str) -> Comparison:
+    for op in ("!=", "<=", ">=", "=", "<", ">"):
+        left, sep, right = text.partition(op)
+        if sep:
+            lhs = _parse_value(left)
+            rhs = _parse_value(right)
+            if not isinstance(lhs, Var):
+                raise WhyNotQuestionError(
+                    f"condition {text!r} must start with a variable"
+                )
+            if isinstance(rhs, Var):
+                return Comparison(lhs, op, rhs)
+            return Comparison(lhs, op, Const(rhs))
+    raise WhyNotQuestionError(f"no comparison operator in {text!r}")
+
+
+def ctuple_with_condition(
+    entries: Mapping[str, Value | Var], **bounds: tuple[str, Value]
+) -> CTuple:
+    """Build a c-tuple with simple per-variable bounds.
+
+    ``ctuple_with_condition({"ap": Var("x")}, x=(">", 25))`` is the
+    c-tuple ``((ap: x), x > 25)``.
+    """
+    conds = [var_cmp(name, op, value) for name, (op, value) in bounds.items()]
+    return CTuple(entries, And.of(*conds))

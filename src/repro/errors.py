@@ -1,0 +1,78 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema, tuple type, or database schema is malformed.
+
+    Raised, for instance, when a tuple is inserted into a relation whose
+    schema it does not match, or when two joined subqueries share input
+    relation aliases (violating Def. 2.2's disjointness requirement).
+    """
+
+
+class QueryError(ReproError):
+    """A query tree is structurally invalid.
+
+    Examples: a projection referencing attributes outside its child's
+    target type, a union of incompatible target types, or a renaming
+    whose triples do not mention the joined types.
+    """
+
+
+class ConditionError(ReproError):
+    """A selection / join / c-tuple condition is malformed."""
+
+
+class RenamingError(QueryError):
+    """A renaming (Def. 2.1) is inconsistent with the types it maps."""
+
+
+class EvaluationError(ReproError):
+    """Evaluation of a well-formed query failed on a given instance."""
+
+
+class IntegrityError(ReproError):
+    """A database integrity constraint (key, not-null) was violated."""
+
+
+class UnknownRelationError(ReproError):
+    """A referenced relation does not exist in the database."""
+
+
+class WhyNotQuestionError(ReproError):
+    """A Why-Not question (predicate / c-tuple, Defs. 2.4-2.6) is invalid.
+
+    Raised when the question's type is not contained in the query's
+    target type, when a condition references an unbound variable, or
+    when the predicate is empty.
+    """
+
+
+class UnsupportedQueryError(ReproError):
+    """The algorithm cannot handle this query class.
+
+    The Why-Not baseline raises this for aggregation queries: the
+    original implementation did not support aggregation (its rows are
+    reported as "n.a." in the paper's Table 5).
+    """
+
+
+class SqlSyntaxError(ReproError):
+    """The SQL frontend could not lex or parse the input text."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)

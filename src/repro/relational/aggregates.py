@@ -1,0 +1,113 @@
+"""Aggregation function calls (Def. 2.2, item 3).
+
+The paper's aggregation operator ``alpha_{G,F}`` takes a grouping set
+``G`` and a list ``F`` of aggregation calls ``f(A) -> A'`` with ``f``
+among ``sum, count, avg, min, max``.  This module implements the
+function calls; the operator itself lives in
+:mod:`repro.relational.algebra`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..errors import QueryError
+from .tuples import Tuple, Value
+
+#: Names of the supported aggregation functions.
+AGGREGATE_FUNCTIONS = ("sum", "count", "avg", "min", "max")
+
+
+def _non_null(values: Iterable[Value]) -> list[Value]:
+    return [v for v in values if v is not None]
+
+
+def _agg_sum(values: Sequence[Value]) -> Value:
+    kept = _non_null(values)
+    if not kept:
+        return None
+    return sum(kept)
+
+
+def _agg_count(values: Sequence[Value]) -> Value:
+    # SQL count(A): number of non-null values.
+    return len(_non_null(values))
+
+
+def _agg_avg(values: Sequence[Value]) -> Value:
+    kept = _non_null(values)
+    if not kept:
+        return None
+    return sum(kept) / len(kept)
+
+
+def _agg_min(values: Sequence[Value]) -> Value:
+    kept = _non_null(values)
+    if not kept:
+        return None
+    return min(kept)
+
+
+def _agg_max(values: Sequence[Value]) -> Value:
+    kept = _non_null(values)
+    if not kept:
+        return None
+    return max(kept)
+
+
+_IMPLEMENTATIONS: dict[str, Callable[[Sequence[Value]], Value]] = {
+    "sum": _agg_sum,
+    "count": _agg_count,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+}
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """One aggregation call ``f(A) -> A'``.
+
+    Parameters
+    ----------
+    function:
+        One of ``sum, count, avg, min, max``.
+    attribute:
+        The (qualified) input attribute ``A``.
+    alias:
+        The fresh output attribute name ``A'`` (unqualified).
+    """
+
+    function: str
+    attribute: str
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.function not in AGGREGATE_FUNCTIONS:
+            raise QueryError(
+                f"unknown aggregation function {self.function!r}; "
+                f"expected one of {AGGREGATE_FUNCTIONS}"
+            )
+        if "." in self.alias:
+            raise QueryError(
+                f"aggregate output attribute {self.alias!r} must be "
+                "unqualified"
+            )
+
+    def compute(self, group: Sequence[Tuple]) -> Value:
+        """Apply the aggregation function to a group of tuples."""
+        values = [t[self.attribute] for t in group]
+        return _IMPLEMENTATIONS[self.function](values)
+
+    def __repr__(self) -> str:
+        return f"{self.function}({self.attribute})->{self.alias}"
+
+
+def check_distinct_aliases(calls: Sequence[AggregateCall]) -> None:
+    """Raise :class:`QueryError` when two calls share an output alias."""
+    aliases = [call.alias for call in calls]
+    if len(set(aliases)) != len(aliases):
+        raise QueryError(
+            f"aggregate calls must have distinct output names, got {aliases}"
+        )

@@ -1,0 +1,130 @@
+"""CSV persistence for :class:`~repro.relational.database.Database`.
+
+A database is stored as a directory with one ``<table>.csv`` per table
+plus a ``_schema.json`` catalog (attribute order and key declarations).
+Values round-trip with a small type tag-free convention: on load,
+fields parse as int, then float, then stay strings; empty fields are
+``NULL``.  This is the adoption path for users bringing their own data
+to the why-not tooling (see ``repro.cli``).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..errors import SchemaError
+from .database import Database
+from .tuples import Value, qualify
+
+_SCHEMA_FILE = "_schema.json"
+
+
+def save_database(database: Database, directory: str | Path) -> Path:
+    """Write *database* under *directory* (created if needed)."""
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    catalog = {"name": database.name, "tables": []}
+    for table_name in database.table_names():
+        table = database.table(table_name)
+        catalog["tables"].append(
+            {
+                "name": table_name,
+                "attributes": list(table.schema.attributes),
+                "key": table.schema.key,
+            }
+        )
+        with open(path / f"{table_name}.csv", "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.schema.attributes)
+            for row in table.rows:
+                writer.writerow(
+                    _render(row[qualify(table_name, attribute)])
+                    for attribute in table.schema.attributes
+                )
+    with open(path / _SCHEMA_FILE, "w") as handle:
+        json.dump(catalog, handle, indent=2)
+    return path
+
+
+def load_database(directory: str | Path) -> Database:
+    """Load a database previously written by :func:`save_database`,
+    or a plain directory of CSV files (headers define the schema)."""
+    path = Path(directory)
+    if not path.is_dir():
+        raise SchemaError(f"{path} is not a directory")
+    catalog_path = path / _SCHEMA_FILE
+    if catalog_path.exists():
+        with open(catalog_path) as handle:
+            catalog = json.load(handle)
+        database = Database(catalog.get("name", path.name))
+        for entry in catalog["tables"]:
+            database.create_table(
+                entry["name"],
+                entry["attributes"],
+                key=entry.get("key"),
+            )
+            _load_rows(database, entry["name"], path)
+        return database
+    # schema-less directory: infer from CSV headers
+    database = Database(path.name)
+    csv_files = sorted(p for p in path.iterdir() if p.suffix == ".csv")
+    if not csv_files:
+        raise SchemaError(f"no CSV files found under {path}")
+    for csv_path in csv_files:
+        with open(csv_path, newline="") as handle:
+            reader = csv.reader(handle)
+            try:
+                header = next(reader)
+            except StopIteration:
+                raise SchemaError(
+                    f"{csv_path.name} is empty (no header row)"
+                ) from None
+        database.create_table(csv_path.stem, header)
+        _load_rows(database, csv_path.stem, path)
+    return database
+
+
+def _load_rows(database: Database, table_name: str, path: Path) -> None:
+    csv_path = path / f"{table_name}.csv"
+    if not csv_path.exists():
+        return
+    table = database.table(table_name)
+    with open(csv_path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            return
+        unknown = set(header) - set(table.schema.attributes)
+        if unknown:
+            raise SchemaError(
+                f"{csv_path.name} has columns {sorted(unknown)} not in "
+                f"the declared schema of {table_name!r}"
+            )
+        for line in reader:
+            values = {
+                attribute: _parse(text)
+                for attribute, text in zip(header, line)
+            }
+            table.insert(**values)
+
+
+def _render(value: Value) -> str:
+    if value is None:
+        return ""
+    return str(value)
+
+
+def _parse(text: str) -> Value:
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text

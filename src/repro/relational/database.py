@@ -1,0 +1,261 @@
+"""A small in-memory database engine.
+
+This module is the library's substitute for the PostgreSQL 9.2 instance
+backing the paper's experiments.  It provides exactly the services the
+algorithms need from a store:
+
+* table creation with key constraints (the paper's CompatibleFinder
+  "assumes that each table has a key attribute to uniquely identify a
+  tuple", Sec. 3.1 footnote 2);
+* inserts that mint stable tuple identifiers ``Table:key``;
+* equality lookups served by hash indexes, plus predicate scans -- the
+  ``SELECT <key> FROM R WHERE ...`` queries CompatibleFinder issues;
+* derivation of query input instances for ``(Q, eta_Q)`` pairs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import IntegrityError, SchemaError, UnknownRelationError
+from .conditions import Condition, compare_values
+from .instance import DatabaseInstance, query_input_instance
+from .schema import DatabaseSchema, RelationSchema
+from .tuples import Tuple, Value, qualify
+
+
+class _Index:
+    """Hash index from one attribute's values to tuple ids."""
+
+    def __init__(self, attribute: str):
+        self.attribute = attribute
+        self._buckets: dict[Value, list[str]] = {}
+
+    def add(self, value: Value, tid: str) -> None:
+        self._buckets.setdefault(value, []).append(tid)
+
+    def lookup(self, value: Value) -> Sequence[str]:
+        return tuple(self._buckets.get(value, ()))
+
+
+class Table:
+    """One stored table: schema + rows + indexes."""
+
+    def __init__(self, schema: RelationSchema):
+        self.schema = schema
+        self._rows: dict[str, Tuple] = {}
+        self._order: list[str] = []
+        self._indexes: dict[str, _Index] = {}
+        self._auto_id = itertools.count(1)
+        if schema.key is not None:
+            self.create_index(schema.key)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, **attrs: Value) -> Tuple:
+        """Insert a row given unqualified attribute values.
+
+        The tuple id is ``Table:<key-value>`` when the schema declares a
+        key (enforcing uniqueness), otherwise ``Table:<n>`` with a
+        monotone counter.
+        """
+        unknown = set(attrs) - set(self.schema.attributes)
+        if unknown:
+            raise SchemaError(
+                f"table {self.schema.name!r} has no attributes "
+                f"{sorted(unknown)}"
+            )
+        values = {
+            qualify(self.schema.name, name): attrs.get(name)
+            for name in self.schema.attributes
+        }
+        if self.schema.key is not None:
+            key_value = attrs.get(self.schema.key)
+            if key_value is None:
+                raise IntegrityError(
+                    f"key {self.schema.key!r} of table "
+                    f"{self.schema.name!r} must not be NULL"
+                )
+            tid = f"{self.schema.name}:{key_value}"
+            if tid in self._rows:
+                raise IntegrityError(
+                    f"duplicate key {key_value!r} in table "
+                    f"{self.schema.name!r}"
+                )
+        else:
+            tid = f"{self.schema.name}:{next(self._auto_id)}"
+        row = Tuple(values, tid=tid)
+        self._rows[tid] = row
+        self._order.append(tid)
+        for index in self._indexes.values():
+            index.add(row[qualify(self.schema.name, index.attribute)], tid)
+        return row
+
+    def create_index(self, attribute: str) -> None:
+        """Create (or refresh) a hash index on *attribute*."""
+        if attribute not in self.schema.attributes:
+            raise SchemaError(
+                f"table {self.schema.name!r} has no attribute "
+                f"{attribute!r} to index"
+            )
+        index = _Index(attribute)
+        qualified = qualify(self.schema.name, attribute)
+        for tid in self._order:
+            index.add(self._rows[tid][qualified], tid)
+        self._indexes[attribute] = index
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> tuple[Tuple, ...]:
+        return tuple(self._rows[tid] for tid in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def by_tid(self, tid: str) -> Tuple:
+        try:
+            return self._rows[tid]
+        except KeyError:
+            raise UnknownRelationError(
+                f"no row {tid!r} in table {self.schema.name!r}"
+            ) from None
+
+    def select_ids_eq(self, attribute: str, value: Value) -> list[str]:
+        """Ids of rows with ``attribute = value`` (index-served)."""
+        if attribute not in self._indexes:
+            self.create_index(attribute)
+        return list(self._indexes[attribute].lookup(value))
+
+    def select_ids(
+        self,
+        equalities: Mapping[str, Value] | None = None,
+        condition: Condition | None = None,
+    ) -> list[str]:
+        """Ids of rows satisfying all equalities and the condition.
+
+        This is the engine-level counterpart of CompatibleFinder's
+        ``SELECT A.aid FROM A WHERE A.name = 'Homer'`` (Example 3.1):
+        equality constraints are served from hash indexes; the residual
+        *condition* (over qualified attributes) is checked per row.
+        """
+        equalities = dict(equalities or {})
+        candidates: Iterable[str]
+        if equalities:
+            # Start from the most selective indexed equality.
+            attribute, value = min(
+                equalities.items(),
+                key=lambda item: len(self.select_ids_eq(*item)),
+            )
+            candidates = self.select_ids_eq(attribute, value)
+            rest = {a: v for a, v in equalities.items() if a != attribute}
+        else:
+            candidates = list(self._order)
+            rest = {}
+        out: list[str] = []
+        for tid in candidates:
+            row = self._rows[tid]
+            ok = all(
+                compare_values(
+                    row[qualify(self.schema.name, attr)], "=", value
+                )
+                for attr, value in rest.items()
+            )
+            if ok and (condition is None or condition.evaluate(row)):
+                out.append(tid)
+        return out
+
+    def scan(self, condition: Condition | None = None) -> list[Tuple]:
+        """Full scan returning rows satisfying *condition*."""
+        if condition is None:
+            return list(self.rows)
+        return [row for row in self.rows if condition.evaluate(row)]
+
+
+class Database:
+    """A named collection of tables with derived instance views."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        attributes: Sequence[str],
+        key: str | None = None,
+    ) -> Table:
+        """Create a table; returns it for chained inserts."""
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already exists")
+        table = Table(RelationSchema(name, tuple(attributes), key))
+        self._tables[name] = table
+        return table
+
+    def insert(self, table_name: str, **attrs: Value) -> Tuple:
+        """Insert a row into *table_name*."""
+        return self.table(table_name).insert(**attrs)
+
+    def insert_rows(
+        self, table_name: str, rows: Iterable[Mapping[str, Value]]
+    ) -> list[Tuple]:
+        """Bulk insert; returns the inserted tuples."""
+        table = self.table(table_name)
+        return [table.insert(**dict(row)) for row in rows]
+
+    # ------------------------------------------------------------------
+    # Catalog access
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownRelationError(
+                f"no table {name!r} in database {self.name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The database schema over all tables."""
+        return DatabaseSchema(
+            tuple(t.schema for t in self._tables.values())
+        )
+
+    def size(self) -> int:
+        """Total number of stored rows."""
+        return sum(len(t) for t in self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Instance views
+    # ------------------------------------------------------------------
+    def instance(self) -> DatabaseInstance:
+        """The full database as a :class:`DatabaseInstance`."""
+        result = DatabaseInstance(self.schema)
+        for name, table in self._tables.items():
+            for row in table.rows:
+                result.add(name, row)
+        return result
+
+    def input_instance(
+        self, aliases: Mapping[str, str]
+    ) -> DatabaseInstance:
+        """The query input instance ``I_Q`` for ``eta_Q`` (Def. 2.3)."""
+        return query_input_instance(self.instance(), aliases)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}:{len(table)}" for name, table in self._tables.items()
+        )
+        return f"Database({self.name!r}; {parts})"

@@ -1,0 +1,160 @@
+"""Bottom-up query evaluation with lineage tracing.
+
+This is the library's stand-in for the Trio system the paper's
+implementations used for lineage: every operator application records,
+on each output tuple, its direct predecessors and base lineage.  The
+:class:`EvaluationResult` keeps the input/output tuple lists of every
+subquery -- precisely the ``Input`` / ``Output`` columns of the paper's
+TabQ structure -- so NedExplain and the Why-Not baseline can inspect
+every intermediate result.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from ..errors import EvaluationError, UnknownRelationError
+from .algebra import Query, RelationLeaf, validate_tree
+from .instance import DatabaseInstance, query_input_instance
+from .tuples import Tuple, Value
+
+
+class EvaluationResult:
+    """Per-node inputs and outputs of one query evaluation.
+
+    Nodes are keyed by identity (two structurally equal operators in
+    one tree are still distinct subqueries).
+    """
+
+    def __init__(self, root: Query):
+        self.root = root
+        self._outputs: dict[int, list[Tuple]] = {}
+        self._inputs: dict[int, list[list[Tuple]]] = {}
+
+    def set_node(
+        self,
+        node: Query,
+        inputs: list[list[Tuple]],
+        output: list[Tuple],
+    ) -> None:
+        """Record the evaluation of one node."""
+        self._inputs[id(node)] = inputs
+        self._outputs[id(node)] = output
+
+    def output(self, node: Query) -> list[Tuple]:
+        """Output tuples of *node*."""
+        try:
+            return self._outputs[id(node)]
+        except KeyError:
+            raise EvaluationError(
+                f"node {node!r} was not evaluated"
+            ) from None
+
+    def inputs(self, node: Query) -> list[list[Tuple]]:
+        """Per-child input tuple lists of *node*."""
+        try:
+            return self._inputs[id(node)]
+        except KeyError:
+            raise EvaluationError(
+                f"node {node!r} was not evaluated"
+            ) from None
+
+    def flat_input(self, node: Query) -> list[Tuple]:
+        """All input tuples of *node*, children concatenated.
+
+        This is the ``m.Input`` entry of TabQ: 'the input instance of a
+        manipulation includes solely the output of its direct children'.
+        """
+        flat: list[Tuple] = []
+        for part in self.inputs(node):
+            flat.extend(part)
+        return flat
+
+    @property
+    def result(self) -> list[Tuple]:
+        """The output of the root, i.e. ``Q(I)``."""
+        return self.output(self.root)
+
+    def result_values(self) -> list[dict[str, Value]]:
+        """Root output as plain value dicts, duplicates collapsed."""
+        seen: set[frozenset] = set()
+        out: list[dict[str, Value]] = []
+        for t in self.result:
+            key = frozenset(t.items())
+            if key not in seen:
+                seen.add(key)
+                out.append(dict(t.items()))
+        return out
+
+    def nodes(self) -> Iterator[Query]:
+        """All evaluated nodes, bottom-up."""
+        return self.root.postorder()
+
+
+def evaluate(root: Query, instance: DatabaseInstance) -> EvaluationResult:
+    """Evaluate the query tree *root* over the input instance.
+
+    *instance* must be a *query input instance*: one relation per leaf
+    alias (see :func:`repro.relational.instance.query_input_instance`
+    for deriving it from a stored database and an alias mapping).
+    """
+    validate_tree(root)
+    result = EvaluationResult(root)
+    for node in root.postorder():
+        if isinstance(node, RelationLeaf):
+            try:
+                stored = list(instance.relation(node.alias))
+            except UnknownRelationError as exc:
+                raise EvaluationError(
+                    f"query reads alias {node.alias!r} but the input "
+                    "instance has no such relation"
+                ) from exc
+            inputs = [stored]
+        else:
+            inputs = [list(result.output(child)) for child in node.children]
+        output = node.apply(inputs)
+        result.set_node(node, inputs, output)
+    return result
+
+
+def evaluate_query(
+    root: Query,
+    database: DatabaseInstance,
+    aliases: Mapping[str, str] | None = None,
+) -> EvaluationResult:
+    """Evaluate ``(Q, eta_Q)`` over a stored database (Def. 2.3).
+
+    *aliases* maps each leaf alias to a stored relation name; when
+    omitted, each alias is assumed to name a stored relation directly.
+    """
+    mapping = resolve_aliases(root, database, aliases)
+    input_instance = query_input_instance(database, mapping)
+    return evaluate(root, input_instance)
+
+
+def resolve_aliases(
+    root: Query,
+    database: DatabaseInstance,
+    aliases: Mapping[str, str] | None = None,
+) -> dict[str, str]:
+    """Complete the alias mapping ``eta_Q`` for all leaves of *root*."""
+    mapping = dict(aliases or {})
+    for leaf in root.leaves():
+        if leaf.alias not in mapping:
+            if leaf.alias not in database:
+                raise UnknownRelationError(
+                    f"alias {leaf.alias!r} does not name a stored "
+                    "relation and no alias mapping was provided"
+                )
+            mapping[leaf.alias] = leaf.alias
+    return mapping
+
+
+def result_contains(
+    result: Sequence[Tuple], expected: Mapping[str, Value]
+) -> bool:
+    """True when some result tuple matches all given attribute values."""
+    for t in result:
+        if all(t.get(attr) == value for attr, value in expected.items()):
+            return True
+    return False

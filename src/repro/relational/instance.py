@@ -1,0 +1,210 @@
+"""Relation and database instances (Sec. 2.1 of the paper).
+
+A database instance ``I`` over a schema ``S`` assigns to each relation
+``R`` in ``S`` a set of tuples over ``type(R)``.  For a query
+``(Q, eta_Q)`` (Def. 2.3), the *query input instance* ``I_Q`` assigns to
+each alias ``S`` of the query's input schema a copy of ``I | eta_Q(S)``
+re-qualified with the alias -- this is what makes self-joins sound: the
+two copies of a self-joined relation carry distinct qualified attributes
+*and distinct tuple identifiers*, so lineage can tell them apart (the
+fix for the baseline's Crime6/Crime7 failure discussed in Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..errors import SchemaError, UnknownRelationError
+from .schema import DatabaseSchema, RelationSchema
+from .tuples import Tuple, qualify, split_qualified
+
+
+class RelationInstance:
+    """An ordered collection of tuples over one relation schema."""
+
+    def __init__(self, schema: RelationSchema, tuples: Iterable[Tuple] = ()):
+        self.schema = schema
+        self._tuples: list[Tuple] = []
+        self._by_tid: dict[str, Tuple] = {}
+        for t in tuples:
+            self.add(t)
+
+    def add(self, t: Tuple) -> None:
+        """Append *t*, validating its type against the schema."""
+        if t.type != self.schema.type:
+            raise SchemaError(
+                f"tuple of type {sorted(t.type)} does not match relation "
+                f"{self.schema.name!r} of type {sorted(self.schema.type)}"
+            )
+        if t.tid is None:
+            raise SchemaError("stored tuples must carry a tuple id")
+        if t.tid in self._by_tid:
+            raise SchemaError(
+                f"duplicate tuple id {t.tid!r} in relation "
+                f"{self.schema.name!r}"
+            )
+        self._tuples.append(t)
+        self._by_tid[t.tid] = t
+
+    @property
+    def tuples(self) -> tuple[Tuple, ...]:
+        """The stored tuples, in insertion order."""
+        return tuple(self._tuples)
+
+    def by_tid(self, tid: str) -> Tuple:
+        """Return the tuple with identifier *tid*."""
+        try:
+            return self._by_tid[tid]
+        except KeyError:
+            raise UnknownRelationError(
+                f"no tuple {tid!r} in relation {self.schema.name!r}"
+            ) from None
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, t: Tuple) -> bool:
+        return t in self._by_tid.values() if t.tid is None else (
+            self._by_tid.get(t.tid) == t
+        )
+
+    def requalified(self, alias: str) -> "RelationInstance":
+        """Return a copy of this instance under query alias *alias*.
+
+        Attributes are re-qualified from ``R.x`` to ``alias.x`` and
+        tuple ids from ``R:k`` to ``alias:k`` so that two aliases of the
+        same relation yield disjoint lineage domains.
+        """
+        if alias == self.schema.name:
+            return self
+        mapping = {
+            qualify(self.schema.name, a): qualify(alias, a)
+            for a in self.schema.attributes
+        }
+        renamed_schema = self.schema.renamed(alias)
+        copy = RelationInstance(renamed_schema)
+        for t in self._tuples:
+            values = {mapping[attr]: value for attr, value in t.items()}
+            new_tid = _retag_tid(t.tid, self.schema.name, alias)
+            copy.add(Tuple(values, tid=new_tid))
+        return copy
+
+    def __repr__(self) -> str:
+        return (
+            f"RelationInstance({self.schema.name!r}, "
+            f"{len(self._tuples)} tuples)"
+        )
+
+
+def _retag_tid(tid: str | None, old_alias: str, new_alias: str) -> str:
+    """Rewrite a tuple id ``old_alias:k`` as ``new_alias:k``."""
+    assert tid is not None
+    prefix = f"{old_alias}:"
+    if tid.startswith(prefix):
+        return f"{new_alias}:{tid[len(prefix):]}"
+    return f"{new_alias}:{tid}"
+
+
+class DatabaseInstance:
+    """A database instance: one :class:`RelationInstance` per relation.
+
+    Viewed either as a mapping from relation names to instances or,
+    "for the sake of presentation" as the paper puts it, as one big set
+    of tuples of possibly different types (:meth:`all_tuples`).
+    """
+
+    def __init__(self, schema: DatabaseSchema):
+        self.schema = schema
+        self._relations: dict[str, RelationInstance] = {
+            r.name: RelationInstance(r) for r in schema
+        }
+
+    def relation(self, name: str) -> RelationInstance:
+        """Return the instance of relation *name*."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise UnknownRelationError(
+                f"relation {name!r} is not part of the instance"
+            ) from None
+
+    def __getitem__(self, name: str) -> RelationInstance:
+        return self.relation(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation_names(self) -> tuple[str, ...]:
+        """Relation names in schema order."""
+        return self.schema.names()
+
+    def add(self, relation_name: str, t: Tuple) -> None:
+        """Insert *t* into relation *relation_name*."""
+        self.relation(relation_name).add(t)
+
+    def insert_values(self, relation_name: str, tid: str, **attrs) -> Tuple:
+        """Build and insert a base tuple from keyword attribute values.
+
+        Attribute names are qualified with the relation name; the tid is
+        stored verbatim.  Returns the inserted tuple.
+        """
+        relation = self.relation(relation_name)
+        values = {
+            relation.schema.qualified(name): value
+            for name, value in attrs.items()
+        }
+        t = Tuple(values, tid=tid)
+        relation.add(t)
+        return t
+
+    def all_tuples(self) -> tuple[Tuple, ...]:
+        """All tuples of the instance (the paper's set-of-tuples view)."""
+        result: list[Tuple] = []
+        for name in self.relation_names():
+            result.extend(self._relations[name].tuples)
+        return tuple(result)
+
+    def tuple_by_tid(self, tid: str) -> Tuple:
+        """Locate a tuple by its id, searching all relations."""
+        alias, _ = split_qualified(tid.replace(":", ".", 1))
+        if alias in self._relations:
+            return self._relations[alias].by_tid(tid)
+        for relation in self._relations.values():
+            try:
+                return relation.by_tid(tid)
+            except UnknownRelationError:
+                continue
+        raise UnknownRelationError(f"no tuple {tid!r} in any relation")
+
+    def size(self) -> int:
+        """Total number of stored tuples."""
+        return sum(len(r) for r in self._relations.values())
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}:{len(self._relations[name])}"
+            for name in self.relation_names()
+        )
+        return f"DatabaseInstance({parts})"
+
+
+def query_input_instance(
+    database: DatabaseInstance, aliases: Mapping[str, str]
+) -> DatabaseInstance:
+    """Build the input instance ``I_Q`` of a query (Def. 2.3).
+
+    For each alias ``S`` with ``eta_Q(S) = R``, the result contains
+    ``I | R`` re-qualified (attributes and tuple ids) with ``S``.
+    """
+    from .schema import alias_schema  # local import to avoid cycle noise
+
+    input_schema = alias_schema(aliases, database.schema)
+    result = DatabaseInstance(input_schema)
+    for alias, target in aliases.items():
+        source = database.relation(target).requalified(alias)
+        for t in source:
+            result.add(alias, t)
+    return result

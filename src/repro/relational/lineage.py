@@ -1,0 +1,95 @@
+"""Lineage utilities (Sec. 2.3 of the paper; Cui & Widom lineage).
+
+The evaluator (see :mod:`repro.relational.evaluator`) already attaches
+to every derived tuple its direct predecessors (``parents``) and its
+base lineage (``lineage``).  This module provides the derived notions
+the paper builds on top:
+
+* ``lineage(t)`` w.r.t. the manipulation that produced ``t`` -- the
+  direct predecessors, presented as a set of typed tuples;
+* successor / predecessor relationships (Def. 2.9);
+* how-provenance style rendering (used in Table 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .tuples import Tuple
+
+
+def direct_lineage(t: Tuple) -> frozenset[Tuple]:
+    """The lineage of *t* w.r.t. its producing manipulation.
+
+    For a base tuple this is the tuple itself (the lineage of a stored
+    tuple is its own singleton).
+    """
+    if t.parents:
+        return frozenset(t.parents)
+    return frozenset((t,))
+
+
+def base_lineage(t: Tuple) -> frozenset[str]:
+    """The identifiers of the base tuples *t* derives from."""
+    return t.lineage
+
+
+def is_successor(candidate: Tuple, source: Tuple) -> bool:
+    """True when *candidate* is a successor of *source* w.r.t. the
+    manipulation that produced *candidate* (Sec. 2.3).
+
+    ``source`` must be a direct predecessor: it occurs in the lineage of
+    ``candidate`` w.r.t. that manipulation.
+    """
+    return source in candidate.parents or (
+        not candidate.parents and candidate == source
+    )
+
+
+def successors_in(
+    output: Iterable[Tuple], source: Tuple
+) -> list[Tuple]:
+    """All tuples of *output* that are successors of *source*."""
+    return [t for t in output if is_successor(t, source)]
+
+
+def descends_from(candidate: Tuple, base_tid: str) -> bool:
+    """True when base tuple *base_tid* is in *candidate*'s lineage.
+
+    This is the transitive successor notion of Def. 2.9 projected onto
+    base tuples: ``candidate`` is a (plain) successor of the base tuple
+    w.r.t. the whole query iff the base tuple id occurs in its lineage.
+    """
+    return base_tid in t_lineage(candidate)
+
+
+def t_lineage(t: Tuple) -> frozenset[str]:
+    """Alias of :func:`base_lineage` kept close to the paper's wording."""
+    return t.lineage
+
+
+def lineage_within(t: Tuple, allowed: frozenset[str]) -> bool:
+    """True when the full lineage of *t* is contained in *allowed*.
+
+    This is the *validity* requirement of Notation 2.1: a successor is
+    valid w.r.t. a tuple set ``D`` iff its lineage is included in ``D``.
+    """
+    return t.lineage <= allowed
+
+
+def how_provenance(t: Tuple) -> str:
+    """Render *t*'s derivation as a compact how-provenance string."""
+    return t.how_provenance()
+
+
+def format_output(tuples: Sequence[Tuple]) -> str:
+    """Human-readable rendering of an operator output with provenance."""
+    if not tuples:
+        return "(empty)"
+    lines = []
+    for t in tuples:
+        pairs = ", ".join(
+            f"{attr}={value!r}" for attr, value in sorted(t.items())
+        )
+        lines.append(f"  {t.how_provenance()}: ({pairs})")
+    return "\n".join(lines)

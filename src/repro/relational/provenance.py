@@ -1,0 +1,211 @@
+"""How-provenance polynomials (Green, Karvounarakis, Tannen; PODS'07).
+
+The paper displays the how-provenance of intermediate tuples in its
+Table 2 (``t4 |><| t7 |><| t2``) to make lineage legible.  This module
+computes full provenance *polynomials* over the semiring of base-tuple
+identifiers:
+
+* a base tuple is the variable named by its id;
+* a join multiplies the polynomials of its two inputs;
+* selection/projection/renaming pass polynomials through;
+* duplicate-merging operators (the same value derived several ways)
+  *add* polynomials -- hence projections and unions produce sums;
+* aggregation multiplies the polynomials of the whole group.
+
+Polynomials are kept in a normalized sum-of-products form
+(:class:`Polynomial` = set of monomials; :class:`Monomial` = multiset
+of ids), so equality and rendering are canonical.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from .algebra import Query
+from .evaluator import EvaluationResult
+from .tuples import Tuple, Value
+
+
+@dataclass(frozen=True)
+class Monomial:
+    """A product of base-tuple identifiers (with multiplicities)."""
+
+    factors: tuple[tuple[str, int], ...]
+
+    @classmethod
+    def of(cls, *ids: str) -> "Monomial":
+        counts = Counter(ids)
+        return cls(tuple(sorted(counts.items())))
+
+    @classmethod
+    def one(cls) -> "Monomial":
+        return cls(())
+
+    def __mul__(self, other: "Monomial") -> "Monomial":
+        counts = Counter(dict(self.factors))
+        counts.update(dict(other.factors))
+        return Monomial(tuple(sorted(counts.items())))
+
+    @property
+    def variables(self) -> frozenset[str]:
+        return frozenset(name for name, _ in self.factors)
+
+    def render(self) -> str:
+        if not self.factors:
+            return "1"
+        parts = []
+        for name, power in self.factors:
+            parts.append(name if power == 1 else f"{name}^{power}")
+        return "*".join(parts)
+
+    def __repr__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """A sum of monomials with natural-number coefficients."""
+
+    terms: tuple[tuple[Monomial, int], ...]
+
+    @classmethod
+    def of_variable(cls, name: str) -> "Polynomial":
+        return cls(((Monomial.of(name), 1),))
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        return cls(())
+
+    @classmethod
+    def _normalize(
+        cls, terms: Iterable[tuple[Monomial, int]]
+    ) -> "Polynomial":
+        combined: dict[Monomial, int] = {}
+        for monomial, coefficient in terms:
+            combined[monomial] = combined.get(monomial, 0) + coefficient
+        kept = tuple(
+            sorted(
+                (
+                    (monomial, coefficient)
+                    for monomial, coefficient in combined.items()
+                    if coefficient
+                ),
+                key=lambda item: item[0].render(),
+            )
+        )
+        return cls(kept)
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        return Polynomial._normalize(self.terms + other.terms)
+
+    def __mul__(self, other: "Polynomial") -> "Polynomial":
+        products = [
+            (m1 * m2, c1 * c2)
+            for m1, c1 in self.terms
+            for m2, c2 in other.terms
+        ]
+        return Polynomial._normalize(products)
+
+    def is_zero(self) -> bool:
+        return not self.terms
+
+    @property
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for monomial, _ in self.terms:
+            out |= monomial.variables
+        return frozenset(out)
+
+    def derivation_count(self) -> int:
+        """Number of distinct derivations (sum of coefficients)."""
+        return sum(coefficient for _, coefficient in self.terms)
+
+    def render(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for monomial, coefficient in self.terms:
+            if coefficient == 1:
+                parts.append(monomial.render())
+            else:
+                parts.append(f"{coefficient}*{monomial.render()}")
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:
+        return self.render()
+
+
+def how_provenance_of(
+    result: EvaluationResult, node: Query | None = None
+) -> dict[Tuple, Polynomial]:
+    """Provenance polynomial of every output tuple of *node*.
+
+    Tuples of *node*'s output that share values but differ in lineage
+    are separate derivations in our evaluator; their polynomials are
+    the products of their parents' polynomials.  Use
+    :func:`value_provenance` for the collapsed, per-value view (where
+    alternative derivations add up).
+    """
+    node = node or result.root
+    memo: dict[int, Polynomial] = {}
+
+    def polynomial(t: Tuple) -> Polynomial:
+        key = id(t)
+        if key in memo:
+            return memo[key]
+        if t.is_base() or not t.parents:
+            poly = (
+                Polynomial.of_variable(t.tid)
+                if t.tid is not None
+                else Polynomial.zero()
+            )
+        else:
+            poly = Polynomial(((Monomial.one(), 1),))
+            for parent in t.parents:
+                poly = poly * polynomial(parent)
+        memo[key] = poly
+        return poly
+
+    return {t: polynomial(t) for t in result.output(node)}
+
+
+def value_provenance(
+    result: EvaluationResult, node: Query | None = None
+) -> dict[frozenset, tuple[Mapping[str, Value], Polynomial]]:
+    """Per-*value* provenance: alternative derivations are summed.
+
+    Returns a map keyed by the frozen attribute/value set; each entry
+    holds the plain values and the summed polynomial (the classic
+    Green-et-al. semantics where duplicate elimination is ``+``).
+    """
+    node = node or result.root
+    per_tuple = how_provenance_of(result, node)
+    collapsed: dict[frozenset, tuple[Mapping[str, Value], Polynomial]] = {}
+    for t, poly in per_tuple.items():
+        key = frozenset(t.items())
+        if key in collapsed:
+            values, existing = collapsed[key]
+            collapsed[key] = (values, existing + poly)
+        else:
+            collapsed[key] = (dict(t.items()), poly)
+    return collapsed
+
+
+def explain_derivations(
+    result: EvaluationResult, node: Query | None = None
+) -> str:
+    """Human-readable provenance listing for *node*'s output."""
+    entries = value_provenance(result, node)
+    if not entries:
+        return "(empty)"
+    lines = []
+    for _key, (values, poly) in sorted(
+        entries.items(), key=lambda item: repr(sorted(item[1][0].items()))
+    ):
+        rendered = ", ".join(
+            f"{attr}={value!r}" for attr, value in sorted(values.items())
+        )
+        lines.append(f"  ({rendered})  <-  {poly.render()}")
+    return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Renamings (Def. 2.1 of the paper).
+
+A renaming ``nu`` w.r.t. two disjoint types ``T1`` and ``T2`` is a set
+of triples ``(A1, A2, Anew)`` with ``A1 in T1``, ``A2 in T2`` and
+``Anew`` a fresh *unqualified* attribute.  Joins use renamings to
+express equi-join conditions (the joined tuples must agree on each
+``(A1, A2)`` pair; the result exposes the shared value under ``Anew``);
+unions use them to align the target types of their two branches.
+
+Inverting renamings is the heart of predicate *unrenaming* (Def. 2.7):
+an attribute ``Anew`` of a why-not predicate is traced back to ``A1``
+on the left branch and ``A2`` on the right branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import RenamingError
+
+
+@dataclass(frozen=True)
+class RenameTriple:
+    """One triple ``(A1, A2, Anew)`` of a renaming."""
+
+    left: str
+    right: str
+    new: str
+
+    def __post_init__(self) -> None:
+        if "." in self.new:
+            raise RenamingError(
+                f"renamed attribute {self.new!r} must be unqualified"
+            )
+        if self.left == self.right:
+            raise RenamingError(
+                f"renaming triple maps the same attribute {self.left!r} twice"
+            )
+
+    def __repr__(self) -> str:
+        return f"({self.left},{self.right})->{self.new}"
+
+
+@dataclass(frozen=True)
+class Renaming:
+    """A renaming ``nu``: a set of :class:`RenameTriple`.
+
+    The empty renaming is valid and denotes a cross product (for joins)
+    or a type-identical union.
+    """
+
+    triples: tuple[RenameTriple, ...] = ()
+
+    @classmethod
+    def of(cls, *pairs: tuple[str, str, str]) -> "Renaming":
+        """Build a renaming from ``(left, right, new)`` 3-tuples."""
+        return cls(tuple(RenameTriple(*pair) for pair in pairs))
+
+    def __post_init__(self) -> None:
+        new_names = [t.new for t in self.triples]
+        if len(set(new_names)) != len(new_names):
+            raise RenamingError(
+                f"renaming introduces duplicate attributes: {new_names}"
+            )
+        lefts = [t.left for t in self.triples]
+        rights = [t.right for t in self.triples]
+        if len(set(lefts)) != len(lefts) or len(set(rights)) != len(rights):
+            raise RenamingError(
+                "renaming maps some source attribute more than once"
+            )
+
+    def __iter__(self) -> Iterator[RenameTriple]:
+        return iter(self.triples)
+
+    def __len__(self) -> int:
+        return len(self.triples)
+
+    @property
+    def codomain(self) -> frozenset[str]:
+        """``cod(nu)``: the set of introduced attribute names."""
+        return frozenset(t.new for t in self.triples)
+
+    def validate_against(
+        self, left_type: Iterable[str], right_type: Iterable[str]
+    ) -> None:
+        """Check the renaming is well-formed w.r.t. the two types.
+
+        Enforces Def. 2.1: ``A1 in T1``, ``A2 in T2`` and
+        ``Anew not in T1 union T2``.
+        """
+        left_type = frozenset(left_type)
+        right_type = frozenset(right_type)
+        for triple in self.triples:
+            if triple.left not in left_type:
+                raise RenamingError(
+                    f"{triple.left!r} is not in the left type "
+                    f"{sorted(left_type)}"
+                )
+            if triple.right not in right_type:
+                raise RenamingError(
+                    f"{triple.right!r} is not in the right type "
+                    f"{sorted(right_type)}"
+                )
+            if triple.new in left_type or triple.new in right_type:
+                raise RenamingError(
+                    f"renamed attribute {triple.new!r} already occurs in "
+                    "the input types"
+                )
+
+    # ------------------------------------------------------------------
+    # Forward application: nu(T) of Def. 2.1
+    # ------------------------------------------------------------------
+    def apply_to_attribute(self, attribute: str) -> str:
+        """Map one attribute through ``nu`` (identity if unmapped)."""
+        for triple in self.triples:
+            if attribute in (triple.left, triple.right):
+                return triple.new
+        return attribute
+
+    def apply_to_type(self, attributes: Iterable[str]) -> frozenset[str]:
+        """Map a type through ``nu``: ``nu(T)`` of Def. 2.1."""
+        return frozenset(self.apply_to_attribute(a) for a in attributes)
+
+    def left_mapping(self, left_type: Iterable[str]) -> dict[str, str]:
+        """Attribute rewrite map for tuples of the left input."""
+        left_type = frozenset(left_type)
+        return {
+            t.left: t.new for t in self.triples if t.left in left_type
+        }
+
+    def right_mapping(self, right_type: Iterable[str]) -> dict[str, str]:
+        """Attribute rewrite map for tuples of the right input."""
+        right_type = frozenset(right_type)
+        return {
+            t.right: t.new for t in self.triples if t.right in right_type
+        }
+
+    # ------------------------------------------------------------------
+    # Inversion: nu|1^-1 and nu|2^-1 of Def. 2.7
+    # ------------------------------------------------------------------
+    def invert_left(self, attribute: str) -> str:
+        """Replace ``Anew`` by its left origin ``A1`` (identity else)."""
+        for triple in self.triples:
+            if triple.new == attribute:
+                return triple.left
+        return attribute
+
+    def invert_right(self, attribute: str) -> str:
+        """Replace ``Anew`` by its right origin ``A2`` (identity else)."""
+        for triple in self.triples:
+            if triple.new == attribute:
+                return triple.right
+        return attribute
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.triples)
+        return f"Renaming[{inner}]"
+
+
+def natural_renaming(
+    pairs: Iterable[tuple[str, str]], new_names: Iterable[str] | None = None
+) -> Renaming:
+    """Build a renaming from ``(left, right)`` attribute pairs.
+
+    When *new_names* is omitted, the unqualified name of the left
+    attribute is used as the introduced attribute -- mirroring how the
+    paper writes ``join_{aid}`` for the renaming
+    ``(A.aid, AB.aid, aid)``.
+    """
+    from .tuples import unqualified_name
+
+    pairs = list(pairs)
+    if new_names is None:
+        names = [unqualified_name(left) for left, _ in pairs]
+    else:
+        names = list(new_names)
+    if len(names) != len(pairs):
+        raise RenamingError("one new name is required per attribute pair")
+    return Renaming.of(
+        *(
+            (left, right, name)
+            for (left, right), name in zip(pairs, names)
+        )
+    )

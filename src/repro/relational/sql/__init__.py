@@ -1,0 +1,32 @@
+"""SQL frontend for the SPJA + UNION query subset of Def. 2.2."""
+
+from .ast_nodes import (
+    ColumnRef,
+    Literal,
+    SelectAggregate,
+    SelectColumn,
+    SelectStatement,
+    TableRef,
+    UnionStatement,
+    WhereComparison,
+)
+from .lexer import Token, tokenize
+from .parser import parse_sql
+from .translate import sql_to_canonical, sql_to_spec, translate
+
+__all__ = [
+    "ColumnRef",
+    "Literal",
+    "SelectAggregate",
+    "SelectColumn",
+    "SelectStatement",
+    "TableRef",
+    "Token",
+    "UnionStatement",
+    "WhereComparison",
+    "parse_sql",
+    "sql_to_canonical",
+    "sql_to_spec",
+    "tokenize",
+    "translate",
+]

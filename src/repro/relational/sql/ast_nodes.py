@@ -1,0 +1,95 @@
+"""Abstract syntax tree for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union as TypingUnion
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (possibly qualified) column reference."""
+
+    table: str | None
+    column: str
+
+    def __repr__(self) -> str:
+        if self.table is None:
+            return self.column
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant literal."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+Operand = TypingUnion[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class SelectColumn:
+    """One plain output column, with an optional alias."""
+
+    column: ColumnRef
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class SelectAggregate:
+    """One aggregate call in the select list."""
+
+    function: str
+    column: ColumnRef
+    alias: str | None = None
+
+
+SelectItem = TypingUnion[SelectColumn, SelectAggregate]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """One FROM-list entry: a table with an optional alias."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class WhereComparison:
+    """One conjunct of the WHERE clause."""
+
+    left: Operand
+    op: str
+    right: Operand
+
+
+@dataclass
+class SelectStatement:
+    """One SELECT block."""
+
+    select_items: list[SelectItem] = field(default_factory=list)
+    select_star: bool = False
+    tables: list[TableRef] = field(default_factory=list)
+    where: list[WhereComparison] = field(default_factory=list)
+    group_by: list[ColumnRef] = field(default_factory=list)
+
+
+@dataclass
+class UnionStatement:
+    """A UNION of two (possibly themselves unioned) statements."""
+
+    left: "SelectStatement | UnionStatement"
+    right: "SelectStatement | UnionStatement"
+
+
+Statement = TypingUnion[SelectStatement, UnionStatement]

@@ -1,0 +1,96 @@
+"""Render query specs back to SQL text.
+
+The inverse of :mod:`repro.relational.sql.translate`: a
+:class:`~repro.core.canonical.SPJASpec` or
+:class:`~repro.core.canonical.UnionSpec` becomes executable SQL of the
+supported subset.  Round-tripping (``format -> parse -> translate``)
+preserves the spec structure, which the test suite checks
+property-style.
+"""
+
+from __future__ import annotations
+
+from ...core.canonical import QuerySpec, SPJASpec, UnionSpec
+from ...errors import QueryError
+from ..conditions import And, Attr, Comparison, Condition, Const
+from ..tuples import Value
+
+
+def format_spec(spec: QuerySpec) -> str:
+    """Render *spec* as SQL text."""
+    if isinstance(spec, UnionSpec):
+        return (
+            format_spec(spec.left)
+            + "\nUNION\n"
+            + format_spec(spec.right)
+        )
+    return _format_spja(spec)
+
+
+def _format_spja(spec: SPJASpec) -> str:
+    select_items: list[str] = []
+    if spec.has_aggregation:
+        select_items.extend(spec.group_by)
+        for call in spec.aggregates:
+            select_items.append(
+                f"{call.function.upper()}({call.attribute}) "
+                f"AS {call.alias}"
+            )
+    elif spec.projection is None:
+        select_items.append("*")
+    else:
+        select_items.extend(spec.projection)
+
+    from_items = [
+        table if alias == table else f"{table} {alias}"
+        for alias, table in spec.aliases.items()
+    ]
+
+    where_items: list[str] = []
+    for pair in spec.joins:
+        where_items.append(f"{pair.left} = {pair.right}")
+    for condition in spec.selections:
+        where_items.append(_format_condition(condition))
+
+    lines = [
+        "SELECT " + ", ".join(select_items),
+        "FROM " + ", ".join(from_items),
+    ]
+    if where_items:
+        lines.append("WHERE " + " AND ".join(where_items))
+    if spec.group_by:
+        lines.append("GROUP BY " + ", ".join(spec.group_by))
+    return "\n".join(lines)
+
+
+def _format_condition(condition: Condition) -> str:
+    if isinstance(condition, Comparison):
+        return (
+            f"{_format_term(condition.left)} {condition.op} "
+            f"{_format_term(condition.right)}"
+        )
+    if isinstance(condition, And):
+        return " AND ".join(
+            _format_condition(part) for part in condition.parts
+        )
+    raise QueryError(
+        f"cannot render condition {condition!r} as SQL (only "
+        "conjunctions of comparisons are expressible in the subset)"
+    )
+
+
+def _format_term(term) -> str:
+    if isinstance(term, Attr):
+        return term.name
+    if isinstance(term, Const):
+        return _format_value(term.value)
+    raise QueryError(f"cannot render term {term!r} as SQL")
+
+
+def _format_value(value: Value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if value is None:
+        raise QueryError("NULL literals are not part of the SQL subset")
+    return str(value)

@@ -1,0 +1,131 @@
+"""Tokenizer for the SQL subset (SPJA + UNION).
+
+Produces a flat token stream for the recursive-descent parser.  The
+subset covers exactly the query class of Def. 2.2, i.e. what a user
+would write instead of algebra (the paper's Fig. 1(a)): ``SELECT``
+lists with aggregation calls, ``FROM`` lists with aliases, conjunctive
+``WHERE`` clauses, ``GROUP BY``, and ``UNION``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ...errors import SqlSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "AS",
+        "AND",
+        "UNION",
+        "ALL",
+        "JOIN",
+        "INNER",
+        "ON",
+    }
+)
+
+AGGREGATE_KEYWORDS = frozenset({"SUM", "COUNT", "AVG", "MIN", "MAX"})
+
+_SYMBOLS = ("<>", "!=", "<=", ">=", "=", "<", ">", "(", ")", ",", ".", "*")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # KEYWORD | AGG | IDENT | NUMBER | STRING | SYMBOL | EOF
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.text == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind == "SYMBOL" and self.text == symbol
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`SqlSyntaxError` on bad input."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    position = 0
+    length = len(text)
+    while position < length:
+        ch = text[position]
+        if ch.isspace():
+            position += 1
+            continue
+        if ch == "-" and text[position : position + 2] == "--":
+            # line comment
+            newline = text.find("\n", position)
+            position = length if newline < 0 else newline + 1
+            continue
+        if ch in "'\"":
+            # scan to the closing quote; a doubled quote escapes itself
+            pieces: list[str] = []
+            cursor = position + 1
+            while True:
+                end = text.find(ch, cursor)
+                if end < 0:
+                    raise SqlSyntaxError(
+                        "unterminated string literal", position
+                    )
+                pieces.append(text[cursor:end])
+                if text[end : end + 2] == ch * 2:
+                    pieces.append(ch)
+                    cursor = end + 2
+                    continue
+                cursor = end + 1
+                break
+            yield Token("STRING", "".join(pieces), position)
+            position = cursor
+            continue
+        if ch.isdigit() or (
+            ch == "-" and position + 1 < length and text[position + 1].isdigit()
+        ):
+            start = position
+            position += 1
+            while position < length and (
+                text[position].isdigit() or text[position] == "."
+            ):
+                position += 1
+            yield Token("NUMBER", text[start:position], start)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = position
+            while position < length and (
+                text[position].isalnum() or text[position] == "_"
+            ):
+                position += 1
+            word = text[start:position]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                yield Token("KEYWORD", upper, start)
+            elif upper in AGGREGATE_KEYWORDS:
+                yield Token("AGG", upper.lower(), start)
+            else:
+                yield Token("IDENT", word, start)
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, position):
+                canonical = "!=" if symbol == "<>" else symbol
+                yield Token("SYMBOL", canonical, position)
+                position += len(symbol)
+                break
+        else:
+            raise SqlSyntaxError(
+                f"unexpected character {ch!r}", position
+            )
+    yield Token("EOF", "", length)

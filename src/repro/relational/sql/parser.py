@@ -1,0 +1,194 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from ...errors import SqlSyntaxError
+from .ast_nodes import (
+    ColumnRef,
+    Literal,
+    Operand,
+    SelectAggregate,
+    SelectColumn,
+    SelectStatement,
+    Statement,
+    TableRef,
+    UnionStatement,
+    WhereComparison,
+)
+from .lexer import Token, tokenize
+
+_COMPARISON_SYMBOLS = ("=", "!=", "<=", ">=", "<", ">")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word}, found {self.current.text!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if not self.current.is_symbol(symbol):
+            raise SqlSyntaxError(
+                f"expected {symbol!r}, found {self.current.text!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind not in ("IDENT", "AGG"):
+            raise SqlSyntaxError(
+                f"expected identifier, found {self.current.text!r}",
+                self.current.position,
+            )
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        statement: Statement = self.parse_select()
+        while self.current.is_keyword("UNION"):
+            self.advance()
+            if self.current.is_keyword("ALL"):
+                self.advance()
+            right = self.parse_select()
+            statement = UnionStatement(statement, right)
+        if self.current.kind != "EOF":
+            raise SqlSyntaxError(
+                f"trailing input {self.current.text!r}",
+                self.current.position,
+            )
+        return statement
+
+    def parse_select(self) -> SelectStatement:
+        self.expect_keyword("SELECT")
+        statement = SelectStatement()
+        if self.current.is_symbol("*"):
+            self.advance()
+            statement.select_star = True
+        else:
+            statement.select_items.append(self.parse_select_item())
+            while self.current.is_symbol(","):
+                self.advance()
+                statement.select_items.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        statement.tables.append(self.parse_table_ref())
+        while True:
+            if self.current.is_symbol(","):
+                self.advance()
+                statement.tables.append(self.parse_table_ref())
+                continue
+            if self.current.is_keyword("INNER") or self.current.is_keyword(
+                "JOIN"
+            ):
+                # explicit join syntax: [INNER] JOIN t [alias] ON conds
+                if self.current.is_keyword("INNER"):
+                    self.advance()
+                self.expect_keyword("JOIN")
+                statement.tables.append(self.parse_table_ref())
+                self.expect_keyword("ON")
+                statement.where.append(self.parse_comparison())
+                while self.current.is_keyword("AND"):
+                    self.advance()
+                    statement.where.append(self.parse_comparison())
+                continue
+            break
+        if self.current.is_keyword("WHERE"):
+            self.advance()
+            statement.where.append(self.parse_comparison())
+            while self.current.is_keyword("AND"):
+                self.advance()
+                statement.where.append(self.parse_comparison())
+        if self.current.is_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+            statement.group_by.append(self.parse_column_ref())
+            while self.current.is_symbol(","):
+                self.advance()
+                statement.group_by.append(self.parse_column_ref())
+        return statement
+
+    def parse_select_item(self):
+        if self.current.kind == "AGG":
+            function = self.advance().text
+            self.expect_symbol("(")
+            column = self.parse_column_ref()
+            self.expect_symbol(")")
+            alias = self.parse_optional_alias()
+            return SelectAggregate(function, column, alias)
+        column = self.parse_column_ref()
+        alias = self.parse_optional_alias()
+        return SelectColumn(column, alias)
+
+    def parse_optional_alias(self) -> str | None:
+        if self.current.is_keyword("AS"):
+            self.advance()
+            return self.expect_ident().text
+        return None
+
+    def parse_table_ref(self) -> TableRef:
+        table = self.expect_ident().text
+        alias: str | None = None
+        if self.current.is_keyword("AS"):
+            self.advance()
+            alias = self.expect_ident().text
+        elif self.current.kind == "IDENT":
+            alias = self.advance().text
+        return TableRef(table, alias)
+
+    def parse_column_ref(self) -> ColumnRef:
+        first = self.expect_ident().text
+        if self.current.is_symbol("."):
+            self.advance()
+            second = self.expect_ident().text
+            return ColumnRef(first, second)
+        return ColumnRef(None, first)
+
+    def parse_operand(self) -> Operand:
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            text = token.text
+            value = float(text) if "." in text else int(text)
+            return Literal(value)
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(token.text)
+        return self.parse_column_ref()
+
+    def parse_comparison(self) -> WhereComparison:
+        left = self.parse_operand()
+        token = self.current
+        if token.kind != "SYMBOL" or token.text not in _COMPARISON_SYMBOLS:
+            raise SqlSyntaxError(
+                f"expected comparison operator, found {token.text!r}",
+                token.position,
+            )
+        self.advance()
+        right = self.parse_operand()
+        return WhereComparison(left, token.text, right)
+
+
+def parse_sql(text: str) -> Statement:
+    """Parse SQL text into a statement AST."""
+    return _Parser(tokenize(text)).parse_statement()

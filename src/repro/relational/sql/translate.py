@@ -1,0 +1,265 @@
+"""Translate parsed SQL into canonicalizable query specs.
+
+The output is a :class:`~repro.core.canonical.SPJASpec` (or a
+:class:`~repro.core.canonical.UnionSpec`), i.e. exactly what
+:func:`repro.core.canonical.canonicalize` consumes -- the "automatic
+translation to our query form" the paper mentions in Sec. 2.1.
+
+Translation rules:
+
+* an equality between columns of two *different* aliases becomes a
+  join pair (its renamed attribute is the left column's name);
+* every other WHERE conjunct becomes a selection condition;
+* aggregate select items become ``alpha_{G,F}`` calls (``AS`` names
+  the output attribute); plain select items become the projection;
+* ``UNION`` builds the renaming from the two branches' projections,
+  positionally (``AS`` on the left branch names the unified column).
+"""
+
+from __future__ import annotations
+
+from ...errors import SqlSyntaxError, UnknownRelationError
+from ..conditions import Attr, Comparison, Condition, Const
+from ..renaming import Renaming
+from ..schema import DatabaseSchema
+from ..tuples import qualify, unqualified_name
+from ...core.canonical import JoinPair, QuerySpec, SPJASpec, UnionSpec
+from ..aggregates import AggregateCall
+from .ast_nodes import (
+    ColumnRef,
+    Literal,
+    SelectAggregate,
+    SelectColumn,
+    SelectStatement,
+    Statement,
+    UnionStatement,
+    WhereComparison,
+)
+from .parser import parse_sql
+
+
+def translate(statement: Statement, schema: DatabaseSchema) -> QuerySpec:
+    """Translate an AST into a query spec over *schema*."""
+    if isinstance(statement, UnionStatement):
+        return _translate_union(statement, schema)
+    spec, _aliases = _translate_select(statement, schema)
+    return spec
+
+
+def sql_to_spec(text: str, schema: DatabaseSchema) -> QuerySpec:
+    """Parse and translate SQL text in one step."""
+    return translate(parse_sql(text), schema)
+
+
+def sql_to_canonical(text: str, schema: DatabaseSchema):
+    """Parse, translate, and canonicalize SQL text."""
+    from ...core.canonical import canonicalize
+
+    return canonicalize(sql_to_spec(text, schema), schema)
+
+
+# ---------------------------------------------------------------------------
+# SELECT translation
+# ---------------------------------------------------------------------------
+class _Resolver:
+    """Resolves column references to qualified attribute names."""
+
+    def __init__(self, statement: SelectStatement, schema: DatabaseSchema):
+        self.aliases: dict[str, str] = {}
+        for table_ref in statement.tables:
+            alias = table_ref.effective_alias
+            if alias in self.aliases:
+                raise SqlSyntaxError(
+                    f"duplicate alias {alias!r} in FROM clause"
+                )
+            try:
+                schema.relation(table_ref.table)
+            except UnknownRelationError as exc:
+                raise SqlSyntaxError(str(exc)) from exc
+            self.aliases[alias] = table_ref.table
+        self.schema = schema
+
+    def resolve(self, ref: ColumnRef) -> str:
+        if ref.table is not None:
+            if ref.table not in self.aliases:
+                raise SqlSyntaxError(
+                    f"unknown alias {ref.table!r} in column reference"
+                )
+            relation = self.schema.relation(self.aliases[ref.table])
+            if ref.column not in relation.attributes:
+                raise SqlSyntaxError(
+                    f"table {relation.name!r} has no column "
+                    f"{ref.column!r}"
+                )
+            return qualify(ref.table, ref.column)
+        matches = [
+            alias
+            for alias, table in self.aliases.items()
+            if ref.column in self.schema.relation(table).attributes
+        ]
+        if not matches:
+            raise SqlSyntaxError(f"unknown column {ref.column!r}")
+        if len(matches) > 1:
+            raise SqlSyntaxError(
+                f"ambiguous column {ref.column!r}; qualify it with one "
+                f"of {sorted(matches)}"
+            )
+        return qualify(matches[0], ref.column)
+
+
+def _translate_select(
+    statement: SelectStatement, schema: DatabaseSchema
+) -> tuple[SPJASpec, dict[int, str | None]]:
+    """Translate one SELECT; also returns select-position -> AS alias."""
+    resolver = _Resolver(statement, schema)
+
+    joins: list[JoinPair] = []
+    selections: list[Condition] = []
+    for comparison in statement.where:
+        _translate_conjunct(comparison, resolver, joins, selections)
+
+    group_by = tuple(resolver.resolve(ref) for ref in statement.group_by)
+    aggregates: list[AggregateCall] = []
+    projection: list[str] = []
+    out_aliases: dict[int, str | None] = {}
+    for position, item in enumerate(statement.select_items):
+        if isinstance(item, SelectAggregate):
+            alias = item.alias or (
+                f"{item.function}_{unqualified_name(item.column.column)}"
+            )
+            aggregates.append(
+                AggregateCall(
+                    item.function, resolver.resolve(item.column), alias
+                )
+            )
+            out_aliases[position] = item.alias
+        else:
+            assert isinstance(item, SelectColumn)
+            projection.append(resolver.resolve(item.column))
+            out_aliases[position] = item.alias
+
+    has_aggregation = bool(aggregates) or bool(group_by)
+    if has_aggregation:
+        plain = frozenset(projection)
+        if not plain <= frozenset(group_by):
+            raise SqlSyntaxError(
+                "non-aggregated select columns must appear in GROUP BY"
+            )
+        spec_projection: tuple[str, ...] | None = None
+    elif statement.select_star:
+        spec_projection = None
+    else:
+        spec_projection = tuple(projection)
+
+    spec = SPJASpec(
+        aliases=dict(resolver.aliases),
+        joins=joins,
+        selections=selections,
+        projection=spec_projection,
+        group_by=group_by,
+        aggregates=tuple(aggregates),
+    )
+    return spec, out_aliases
+
+
+def _translate_conjunct(
+    comparison: WhereComparison,
+    resolver: _Resolver,
+    joins: list[JoinPair],
+    selections: list[Condition],
+) -> None:
+    left, right = comparison.left, comparison.right
+    if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+        left_q = resolver.resolve(left)
+        right_q = resolver.resolve(right)
+        left_alias = left_q.split(".", 1)[0]
+        right_alias = right_q.split(".", 1)[0]
+        if comparison.op == "=" and left_alias != right_alias:
+            joins.append(JoinPair(left_q, right_q))
+        else:
+            selections.append(
+                Comparison(Attr(left_q), comparison.op, Attr(right_q))
+            )
+        return
+    if isinstance(left, Literal) and isinstance(right, Literal):
+        raise SqlSyntaxError(
+            "constant-only WHERE conjuncts are not supported"
+        )
+    if isinstance(left, Literal):
+        # normalize "literal op column" to "column flipped-op literal"
+        flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(
+            comparison.op, comparison.op
+        )
+        assert isinstance(right, ColumnRef)
+        selections.append(
+            Comparison(
+                Attr(resolver.resolve(right)), flipped, Const(left.value)
+            )
+        )
+        return
+    assert isinstance(left, ColumnRef) and isinstance(right, Literal)
+    selections.append(
+        Comparison(Attr(resolver.resolve(left)), comparison.op,
+                   Const(right.value))
+    )
+
+
+# ---------------------------------------------------------------------------
+# UNION translation
+# ---------------------------------------------------------------------------
+def _translate_union(
+    statement: UnionStatement, schema: DatabaseSchema
+) -> UnionSpec:
+    left = statement.left
+    right = statement.right
+    left_spec = translate(left, schema)
+    right_spec = translate(right, schema)
+    renaming = _union_renaming(left, left_spec, right_spec)
+    return UnionSpec(left=left_spec, right=right_spec, renaming=renaming)
+
+
+def _branch_output(
+    spec: QuerySpec,
+) -> tuple[str, ...]:
+    if isinstance(spec, UnionSpec):
+        # renamed output of a nested union
+        return tuple(sorted(spec.renaming.codomain))
+    if spec.has_aggregation:
+        return spec.group_by + tuple(c.alias for c in spec.aggregates)
+    if spec.projection is None:
+        raise SqlSyntaxError(
+            "UNION branches need an explicit select list"
+        )
+    return spec.projection
+
+
+def _union_renaming(
+    left_stmt,
+    left_spec: QuerySpec,
+    right_spec: QuerySpec,
+) -> Renaming:
+    left_attrs = _branch_output(left_spec)
+    right_attrs = _branch_output(right_spec)
+    if len(left_attrs) != len(right_attrs):
+        raise SqlSyntaxError(
+            "UNION branches have different numbers of columns"
+        )
+    aliases = _select_aliases(left_stmt)
+    triples: list[tuple[str, str, str]] = []
+    for position, (left_attr, right_attr) in enumerate(
+        zip(left_attrs, right_attrs)
+    ):
+        if left_attr == right_attr:
+            continue  # already aligned
+        new_name = aliases.get(position) or unqualified_name(left_attr)
+        triples.append((left_attr, right_attr, new_name))
+    return Renaming.of(*triples)
+
+
+def _select_aliases(statement) -> dict[int, str | None]:
+    if isinstance(statement, UnionStatement):
+        return {}
+    out: dict[int, str | None] = {}
+    for position, item in enumerate(statement.select_items):
+        out[position] = item.alias
+    return out

@@ -1,0 +1,254 @@
+"""The crime database and queries Q1-Q4 / Q8 (Sec. 4.1 of the paper).
+
+The paper uses the Trio sample crime database (crimes, witnesses,
+sightings, persons).  We rebuild it synthetically: the schema follows
+the joins of Table 3 and the data is shaped so each use case of Table 4
+exercises the behaviour Sec. 4.2 describes --
+
+* ``Hank``  has a matching sighting but no car theft happens in his
+  witness's sector (Crime1/4/5);
+* ``Roger`` was never sighted: his trace dies at the very first join
+  (Crime2/3/10);
+* kidnappings never share a sector with an ``Aiding`` crime (Crime6/7);
+* ``Susan`` witnesses a sector without kidnappings (Crime7);
+* ``Audrey`` shares her hair colour only with persons whose names fail
+  the ``< 'B'`` filter (Crime8);
+* ``Betsy`` is sighted near 13 crimes, only 7 of which lie in sectors
+  ``> 80`` (Crime9, the aggregation condition ``ct > 8``).
+
+Row counts scale linearly with *scale* (default ~90 rows, the paper's
+smallest database).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relational.aggregates import AggregateCall
+from ..relational.conditions import attr_attr_cmp, attr_cmp
+from ..relational.database import Database
+from ..core.canonical import JoinPair, SPJASpec
+
+HAIR_COLOURS = ("black", "brown", "red", "blond", "grey")
+CLOTHES = ("jeans", "suit", "dress", "coat", "uniform")
+CRIME_TYPES = ("Car theft", "Robbery", "Assault", "Fraud")
+
+
+def build_crime_db(scale: int = 1, seed: int = 1404) -> Database:
+    """Build the crime database at the given scale factor."""
+    rng = random.Random(seed)
+    db = Database("crime")
+    db.create_table("Person", ["id", "name", "hair", "clothes"], key="id")
+    db.create_table("Crime", ["id", "sector", "type"], key="id")
+    db.create_table("Witness", ["id", "name", "sector"], key="id")
+    db.create_table(
+        "Saw", ["id", "witnessName", "hair", "clothes"], key="id"
+    )
+
+    _insert_story_rows(db)
+    _insert_background_rows(db, rng, scale)
+    return db
+
+
+def _insert_story_rows(db: Database) -> None:
+    """The hand-written rows every use case depends on."""
+    # --- persons -------------------------------------------------------
+    db.insert("Person", id=2, name="Hank", hair="blond", clothes="jeans")
+    # Roger's look is unique: no sighting (and no background sighting)
+    # ever matches him, so his trace dies at the very first join.
+    db.insert("Person", id=604, name="Roger", hair="silver", clothes="cape")
+    db.insert("Person", id=9, name="Betsy", hair="red", clothes="dress")
+    db.insert("Person", id=51, name="Audrey", hair="auburn", clothes="suit")
+    # Audrey's hair colour ("auburn") is shared only by C/D-named
+    # persons, whose names fail the < 'B' filter of Q4.
+    db.insert(
+        "Person", id=52, name="Chiardola", hair="auburn", clothes="coat"
+    )
+    db.insert(
+        "Person", id=53, name="Davemonet", hair="auburn", clothes="jeans"
+    )
+    db.insert("Person", id=54, name="Debye", hair="auburn", clothes="dress")
+    # One person < 'B' with a *different* hair colour, so the baseline's
+    # P1-side Audrey... item analysis has survivors through Q4.
+    db.insert("Person", id=55, name="Abel", hair="black", clothes="suit")
+    db.insert("Person", id=56, name="Carla", hair="black", clothes="dress")
+
+    # --- witnesses -----------------------------------------------------
+    db.insert("Witness", id=1, name="Walter", sector=5)
+    db.insert("Witness", id=2, name="Susan", sector=7)
+    db.insert("Witness", id=3, name="Wade", sector=60)
+    db.insert("Witness", id=4, name="Wilma", sector=81)
+    db.insert("Witness", id=5, name="Ward", sector=82)
+    db.insert("Witness", id=6, name="Webb", sector=90)
+    # Wolf witnesses sector 70 so the Aiding self-join reaches the
+    # result for some witness (Crime6's picky join has live siblings).
+    db.insert("Witness", id=7, name="Wolf", sector=70)
+
+    # --- sightings -----------------------------------------------------
+    # Hank was seen by Walter (sector 5): no car theft there.
+    db.insert("Saw", id=1, witnessName="Walter", hair="blond", clothes="jeans")
+    # Betsy was seen by Wade (60), Wilma (81), Ward (82), Webb (90).
+    db.insert("Saw", id=2, witnessName="Wade", hair="red", clothes="dress")
+    db.insert("Saw", id=3, witnessName="Wilma", hair="red", clothes="dress")
+    db.insert("Saw", id=4, witnessName="Ward", hair="red", clothes="dress")
+    db.insert("Saw", id=5, witnessName="Webb", hair="red", clothes="dress")
+    # Roger was never sighted: no Saw row matches (silver, cape).
+
+    # --- crimes --------------------------------------------------------
+    # No crime at all in sector 5 (Hank's witness): Hank's trace always
+    # dies at the crime join, for both algorithms.
+    db.insert("Crime", id=2, sector=40, type="Car theft")
+    db.insert("Crime", id=3, sector=41, type="Car theft")
+    # Kidnappings live in sectors 60/61 where no 'Aiding' crime exists.
+    db.insert("Crime", id=396, sector=60, type="Kidnapping")
+    db.insert("Crime", id=85, sector=60, type="Kidnapping")
+    db.insert("Crime", id=112, sector=61, type="Kidnapping")
+    # Aiding crimes exist, in sectors 70/71; Susan's sector 7 hosts
+    # neither a kidnapping nor an Aiding crime.
+    db.insert("Crime", id=200, sector=70, type="Aiding")
+    db.insert("Crime", id=201, sector=71, type="Aiding")
+    # A second crime in sector 70 so the Aiding self-join has output.
+    db.insert("Crime", id=202, sector=70, type="Robbery")
+    db.insert("Crime", id=203, sector=71, type="Fraud")
+    # Betsy's crime counts (Crime9, "ct > 8"): 8 crimes reach her group
+    # via sector 60 (2 kidnappings above + 6 frauds below) and 7 via
+    # sectors > 80 -- 15 before the sector > 80 selection, 7 after.
+    for offset in range(6):
+        db.insert("Crime", id=300 + offset, sector=60, type="Fraud")
+    for offset in range(7):
+        sector = 81 if offset < 3 else (82 if offset < 5 else 90)
+        db.insert("Crime", id=320 + offset, sector=sector, type="Assault")
+
+
+def _insert_background_rows(
+    db: Database, rng: random.Random, scale: int
+) -> None:
+    """Filler rows that scale the database without touching the story.
+
+    Background sectors stay within 20..39 -- below the ``> 99``
+    threshold of Q2 (whose selection must stay empty, Sec. 4.2's
+    "empty intermediate results") and disjoint from the story sectors.
+    Background names are prefixed so they never collide.
+    """
+    for index in range(30 * scale):
+        sector = 20 + rng.randrange(20)
+        db.insert(
+            "Crime",
+            id=10_000 + index,
+            sector=sector,
+            type=rng.choice(CRIME_TYPES),
+        )
+    for index in range(15 * scale):
+        db.insert(
+            "Witness",
+            id=1000 + index,
+            name=f"w{index}",
+            sector=20 + rng.randrange(20),
+        )
+    for index in range(20 * scale):
+        db.insert(
+            "Saw",
+            id=1000 + index,
+            witnessName=f"w{rng.randrange(15 * scale)}",
+            hair=rng.choice(HAIR_COLOURS),
+            clothes=rng.choice(CLOTHES),
+        )
+    for index in range(20 * scale):
+        db.insert(
+            "Person",
+            id=1000 + index,
+            name=f"p{index}",
+            hair=rng.choice(HAIR_COLOURS),
+            clothes=rng.choice(CLOTHES),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Queries (Table 3)
+# ---------------------------------------------------------------------------
+def _chain_joins() -> list[JoinPair]:
+    """The C-W-S-P join chain, listed P-side first.
+
+    Listing the person-side joins first yields the canonical trees of
+    the paper's Fig. 4(a)/(e): the S |><| P join at the bottom (``m0``),
+    the crime join on top.
+    """
+    return [
+        JoinPair("Saw.hair", "Person.hair", "hair"),
+        JoinPair("Saw.clothes", "Person.clothes", "clothes"),
+        JoinPair("Witness.name", "Saw.witnessName", "witnessName"),
+        JoinPair("Crime.sector", "Witness.sector", "sector"),
+    ]
+
+
+def query_q1() -> SPJASpec:
+    """Q1: pi_{P.name, C.type} (C |><| W |><| S |><| P)."""
+    return SPJASpec(
+        aliases={
+            "Saw": "Saw",
+            "Person": "Person",
+            "Witness": "Witness",
+            "Crime": "Crime",
+        },
+        joins=_chain_joins(),
+        projection=("Person.name", "Crime.type"),
+    )
+
+
+def query_q2() -> SPJASpec:
+    """Q2: Q1 with the (empty-result) selection sector > 99 on Crime."""
+    spec = query_q1()
+    spec.selections = [attr_cmp("Crime.sector", ">", 99)]
+    return spec
+
+
+def query_q3() -> SPJASpec:
+    """Q3: self-join of Crime -- witnesses of sectors with an Aiding
+    crime (pi_{W.name, C2.type})."""
+    return SPJASpec(
+        aliases={"C2": "Crime", "C1": "Crime", "W": "Witness"},
+        joins=[
+            JoinPair("C2.sector", "C1.sector", "sector1"),
+            JoinPair("W.sector", "C2.sector", "sector2"),
+        ],
+        selections=[attr_cmp("C1.type", "=", "Aiding")],
+        projection=("W.name", "C2.type"),
+    )
+
+
+def query_q4() -> SPJASpec:
+    """Q4: self-join of Person on hair (pi_{P2.name})."""
+    return SPJASpec(
+        aliases={"P2": "Person", "P1": "Person"},
+        joins=[JoinPair("P2.hair", "P1.hair", "hair")],
+        selections=[
+            attr_cmp("P1.name", "<", "B"),
+            attr_attr_cmp("P1.name", "!=", "P2.name"),
+        ],
+        projection=("P2.name",),
+    )
+
+
+def query_q8() -> SPJASpec:
+    """Q8: SPJA -- crimes per person name in sectors > 80."""
+    return SPJASpec(
+        aliases={
+            "Person": "Person",
+            "Saw": "Saw",
+            "Witness": "Witness",
+            "Crime": "Crime",
+        },
+        joins=_chain_joins(),
+        selections=[attr_cmp("Crime.sector", ">", 80)],
+        group_by=("Person.name",),
+        aggregates=(AggregateCall("count", "Crime.type", "ct"),),
+    )
+
+
+CRIME_QUERIES = {
+    "Q1": query_q1,
+    "Q2": query_q2,
+    "Q3": query_q3,
+    "Q4": query_q4,
+    "Q8": query_q8,
+}

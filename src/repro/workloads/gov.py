@@ -1,0 +1,304 @@
+"""The gov database and queries Q6/Q7/Q9-Q12 (Sec. 4.1 of the paper).
+
+The paper collected real data on US congressmen, earmarks, and sponsors
+(bioguide.congress.gov, usaspending.gov, earmarks.omb.gov); gov is its
+largest database (up to 9341 rows).  We rebuild it synthetically with
+the same relations and join structure:
+
+* ``Congress``/``AgencyAffiliation`` -- congressmen and their party /
+  state affiliation (Q6, Q10);
+* ``Earmarks``/``EarmarkStages``/``Sponsors`` -- earmarked spending,
+  its legislative stages, and the sponsoring senators (Q7, Q9, Q11).
+
+Story rows drive the Gov1-Gov7 use cases: four Christophers failing
+either the birth-year selection or the party join (Gov1-3), sponsor 467
+whose earmarks never reach the Senate Committee stage (Gov4), Lugar
+whose earmarks are all small (Gov5), Bennett whose earmark total drops
+below the asked amount after the substage filter (Gov6), and
+congressman JOHN, a Texas Democrat missing from the NY union (Gov7).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relational.aggregates import AggregateCall
+from ..relational.conditions import attr_cmp
+from ..relational.database import Database
+from ..relational.renaming import Renaming
+from ..core.canonical import JoinPair, SPJASpec, UnionSpec
+
+_STATES = ("NY", "CA", "TX", "WA", "IL", "MA", "OH", "FL")
+_PARTIES = ("Republican", "Democrat")
+_SUBSTAGES = (
+    "Senate Committee",
+    "House Committee",
+    "House Floor",
+    "Conference",
+)
+
+
+def build_gov_db(scale: int = 1, seed: int = 7114) -> Database:
+    """Build the gov database at the given scale factor."""
+    rng = random.Random(seed)
+    db = Database("gov")
+    db.create_table(
+        "Congress", ["id", "firstname", "lastname", "byear"], key="id"
+    )
+    db.create_table("AgencyAffiliation", ["id", "party", "state"], key="id")
+    db.create_table("Earmarks", ["id", "camount"], key="id")
+    db.create_table("EarmarkStages", ["id", "earmark", "substage", "sponsor"],
+                    key="id")
+    db.create_table(
+        "Sponsors", ["id", "sponsorln", "party", "state"], key="id"
+    )
+
+    _insert_story_rows(db)
+    _insert_background_rows(db, rng, scale)
+    return db
+
+
+def _insert_story_rows(db: Database) -> None:
+    # --- congressmen (Gov1-Gov3, Gov7) ---------------------------------
+    # Three Christophers fail byear > 1970; MURPHY passes it but is a
+    # Democrat, so his affiliation dies at the party selection.
+    db.insert("Congress", id=569, firstname="Christopher",
+              lastname="GIBSON", byear=1950)
+    db.insert("AgencyAffiliation", id=569, party="Republican", state="NY")
+    db.insert("Congress", id=1495, firstname="Christopher",
+              lastname="SMITH", byear=1960)
+    db.insert("AgencyAffiliation", id=1495, party="Republican", state="NJ")
+    db.insert("Congress", id=773, firstname="Christopher",
+              lastname="JONES", byear=1965)
+    db.insert("AgencyAffiliation", id=773, party="Republican", state="OH")
+    db.insert("Congress", id=1072, firstname="Christopher",
+              lastname="MURPHY", byear=1975)
+    db.insert("AgencyAffiliation", id=1072, party="Democrat", state="CT")
+    # Gov7: congressman JOHN -- a Democrat from Texas (not NY).
+    db.insert("Congress", id=772, firstname="Albert",
+              lastname="JOHN", byear=1962)
+    db.insert("AgencyAffiliation", id=772, party="Democrat", state="TX")
+    # Republicans born after 1970, so Q6 has a non-empty result.
+    db.insert("Congress", id=901, firstname="Paul", lastname="RYAN",
+              byear=1972)
+    db.insert("AgencyAffiliation", id=901, party="Republican", state="WI")
+    db.insert("Congress", id=902, firstname="Elise", lastname="STEFANIK",
+              byear=1984)
+    db.insert("AgencyAffiliation", id=902, party="Republican", state="NY")
+    # NY Democrats, so Q10 (and the Gov7 union) has a result.
+    db.insert("Congress", id=903, firstname="Jerry", lastname="NADLER",
+              byear=1947)
+    db.insert("AgencyAffiliation", id=903, party="Democrat", state="NY")
+
+    # --- sponsors / earmarks (Gov4-Gov6) -------------------------------
+    # Gov4: sponsor 467 is Republican, but none of his earmark stages
+    # reaches the Senate Committee.
+    db.insert("Sponsors", id=467, sponsorln="Thompson",
+              party="Republican", state="TN")
+    db.insert("Earmarks", id=15, camount=250)
+    db.insert("EarmarkStages", id=80, earmark=15,
+              substage="House Committee", sponsor=467)
+    db.insert("EarmarkStages", id=78, earmark=15,
+              substage="House Floor", sponsor=467)
+    db.insert("Earmarks", id=16, camount=180)
+    db.insert("EarmarkStages", id=79, earmark=16,
+              substage="Conference", sponsor=467)
+
+    # Gov5: Lugar's earmarks are small (< 1000) and none of his stages
+    # is a Senate Committee stage.
+    db.insert("Sponsors", id=199, sponsorln="Lugar",
+              party="Republican", state="IN")
+    db.insert("Earmarks", id=324, camount=500)
+    db.insert("EarmarkStages", id=81, earmark=324,
+              substage="House Floor", sponsor=199)
+    db.insert("Earmarks", id=325, camount=750)
+    db.insert("EarmarkStages", id=82, earmark=325,
+              substage="Conference", sponsor=199)
+
+    # Gov6: Bennett's earmarks sum to 10870 before the substage filter
+    # (10000 Senate Committee + 870 House Floor), 10000 after it.
+    db.insert("Sponsors", id=88, sponsorln="Bennett",
+              party="Republican", state="UT")
+    db.insert("Earmarks", id=501, camount=10000)
+    db.insert("EarmarkStages", id=83, earmark=501,
+              substage="Senate Committee", sponsor=88)
+    db.insert("Earmarks", id=502, camount=870)
+    db.insert("EarmarkStages", id=84, earmark=502,
+              substage="House Floor", sponsor=88)
+
+    # A healthy Republican sponsor whose large, Senate-Committee-staged
+    # earmarks reach every result (the survivors of Gov5).
+    db.insert("Sponsors", id=533, sponsorln="Cochran",
+              party="Republican", state="MS")
+    db.insert("Earmarks", id=533, camount=120000)
+    db.insert("EarmarkStages", id=85, earmark=533,
+              substage="Senate Committee", sponsor=533)
+    # NY Democrat sponsors, so Q11 (and the Gov7 union) has a result.
+    db.insert("Sponsors", id=640, sponsorln="Schumer",
+              party="Democrat", state="NY")
+    db.insert("Earmarks", id=640, camount=90000)
+    db.insert("EarmarkStages", id=86, earmark=640,
+              substage="Senate Committee", sponsor=640)
+
+
+def _insert_background_rows(
+    db: Database, rng: random.Random, scale: int
+) -> None:
+    """Filler that brings gov to the paper's row-count range."""
+    sponsor_ids: list[int] = []
+    for index in range(120 * scale):
+        sponsor_id = 10_000 + index
+        sponsor_ids.append(sponsor_id)
+        db.insert(
+            "Sponsors",
+            id=sponsor_id,
+            sponsorln=f"sponsor{index}",
+            party=rng.choice(_PARTIES),
+            state=rng.choice(_STATES),
+        )
+    stage_id = 10_000
+    for index in range(900 * scale):
+        earmark_id = 10_000 + index
+        # most earmarks are small; roughly a quarter exceed 1000
+        if rng.random() < 0.25:
+            camount = 1000 + rng.randrange(50_000)
+        else:
+            camount = 10 + rng.randrange(990)
+        db.insert("Earmarks", id=earmark_id, camount=camount)
+        sponsor = rng.choice(sponsor_ids)
+        for stage_index in range(rng.randrange(1, 3)):
+            # Large earmarks always pass a Senate Committee stage, so
+            # Gov5's blame concentrates on the sponsor join (the paper
+            # reports a single picky subquery for it).
+            if stage_index == 0 and camount >= 1000:
+                substage = "Senate Committee"
+            else:
+                substage = rng.choice(_SUBSTAGES)
+            db.insert(
+                "EarmarkStages",
+                id=stage_id,
+                earmark=earmark_id,
+                substage=substage,
+                sponsor=sponsor,
+            )
+            stage_id += 1
+    for index in range(250 * scale):
+        congress_id = 10_000 + index
+        db.insert(
+            "Congress",
+            id=congress_id,
+            firstname=f"first{index % 40}",
+            lastname=f"LAST{index}",
+            byear=1940 + rng.randrange(55),
+        )
+        db.insert(
+            "AgencyAffiliation",
+            id=congress_id,
+            party=rng.choice(_PARTIES),
+            state=rng.choice(_STATES),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Queries (Table 3)
+# ---------------------------------------------------------------------------
+def query_q6() -> SPJASpec:
+    """Q6: young Republicans --
+    pi_{Co.firstname, Co.lastname}(sigma_party(AA) |><|_id
+    sigma_byear(Co))."""
+    return SPJASpec(
+        aliases={"AA": "AgencyAffiliation", "Co": "Congress"},
+        joins=[JoinPair("AA.id", "Co.id", "id")],
+        selections=[
+            attr_cmp("AA.party", "=", "Republican"),
+            attr_cmp("Co.byear", ">", 1970),
+        ],
+        projection=("Co.firstname", "Co.lastname"),
+    )
+
+
+def query_q7() -> SPJASpec:
+    """Q7: Republican-sponsored Senate Committee earmarks."""
+    return SPJASpec(
+        aliases={
+            "E": "Earmarks",
+            "ES": "EarmarkStages",
+            "SPO": "Sponsors",
+        },
+        joins=[
+            JoinPair("E.id", "ES.earmark", "earmarkId"),
+            JoinPair("ES.sponsor", "SPO.id", "sponsorId"),
+        ],
+        selections=[
+            attr_cmp("ES.substage", "=", "Senate Committee"),
+            attr_cmp("SPO.party", "=", "Republican"),
+        ],
+        projection=("sponsorId", "SPO.sponsorln", "E.camount"),
+    )
+
+
+def query_q9() -> SPJASpec:
+    """Q9: SPJA -- total Senate Committee earmark amount per
+    Republican sponsor."""
+    return SPJASpec(
+        aliases={
+            "E": "Earmarks",
+            "ES": "EarmarkStages",
+            "SPO": "Sponsors",
+        },
+        joins=[
+            JoinPair("E.id", "ES.earmark", "earmarkId"),
+            JoinPair("ES.sponsor", "SPO.id", "sponsorId"),
+        ],
+        selections=[
+            attr_cmp("SPO.party", "=", "Republican"),
+            attr_cmp("ES.substage", "=", "Senate Committee"),
+        ],
+        group_by=("SPO.sponsorln",),
+        aggregates=(AggregateCall("sum", "E.camount", "am"),),
+    )
+
+
+def query_q10() -> SPJASpec:
+    """Q10: last names of NY Democrat congressmen."""
+    return SPJASpec(
+        aliases={"Co": "Congress", "AA": "AgencyAffiliation"},
+        joins=[JoinPair("Co.id", "AA.id", "id")],
+        selections=[
+            attr_cmp("AA.party", "=", "Democrat"),
+            attr_cmp("AA.state", "=", "NY"),
+        ],
+        projection=("Co.lastname",),
+    )
+
+
+def query_q11() -> SPJASpec:
+    """Q11: last names of NY Democrat sponsors."""
+    return SPJASpec(
+        aliases={"SPO": "Sponsors"},
+        joins=[],
+        selections=[
+            attr_cmp("SPO.party", "=", "Democrat"),
+            attr_cmp("SPO.state", "=", "NY"),
+        ],
+        projection=("SPO.sponsorln",),
+    )
+
+
+def query_q12() -> UnionSpec:
+    """Q12 = Q10 union Q11 (renaming both last names to ``name``)."""
+    return UnionSpec(
+        left=query_q10(),
+        right=query_q11(),
+        renaming=Renaming.of(("Co.lastname", "SPO.sponsorln", "name")),
+    )
+
+
+GOV_QUERIES = {
+    "Q6": query_q6,
+    "Q7": query_q7,
+    "Q9": query_q9,
+    "Q10": query_q10,
+    "Q11": query_q11,
+    "Q12": query_q12,
+}

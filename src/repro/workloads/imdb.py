@@ -1,0 +1,120 @@
+"""The imdb database and query Q5 (Sec. 4.1 of the paper).
+
+The paper extracted real data from IMDB / MovieLens; we rebuild a
+synthetic equivalent: movies, ratings (joined on the movie *name*, the
+renamed output attribute exercised by use case Imdb2), and filming
+locations (joined on the movie id).
+
+Story rows:
+
+* ``Avatar`` (2009) fails the ``year > 2009`` selection while its
+  rating passes -- Imdb1's split blame between a selection and the
+  name join;
+* ``Christmas Story`` (2010, rating 9.1) survives both selections and
+  the name join, but was filmed only in Toronto, while the
+  ``USANewYork`` location rows belong to other movies -- Imdb2's blame
+  lands on the location join, and only on it, *because* of the
+  valid-successor requirement; the baseline sees survivors for both
+  attribute constraints and returns nothing.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..relational.conditions import attr_cmp
+from ..relational.database import Database
+from ..core.canonical import JoinPair, SPJASpec
+
+_CITIES = (
+    "USALosAngeles",
+    "USAChicago",
+    "UKLondon",
+    "FranceParis",
+    "CanadaToronto",
+)
+
+
+def build_imdb_db(scale: int = 1, seed: int = 2014) -> Database:
+    """Build the imdb database at the given scale factor."""
+    rng = random.Random(seed)
+    db = Database("imdb")
+    db.create_table("Movies", ["id", "name", "year"], key="id")
+    db.create_table("Ratings", ["id", "name", "rating"], key="id")
+    db.create_table(
+        "Locations", ["id", "movieId", "locationId"], key="id"
+    )
+
+    _insert_story_rows(db)
+    _insert_background_rows(db, rng, scale)
+    return db
+
+
+def _insert_story_rows(db: Database) -> None:
+    # Imdb1: Avatar is from 2009 -- killed by year > 2009; its rating
+    # would have passed.
+    db.insert("Movies", id=18, name="Avatar", year=2009)
+    db.insert("Ratings", id=124, name="Avatar", rating=8.2)
+    db.insert("Locations", id=7, movieId=18, locationId="USALosAngeles")
+
+    # Imdb2: Christmas Story passes both selections and the name join,
+    # but was filmed in Toronto only; USANewYork belongs to others.
+    db.insert("Movies", id=4, name="Christmas Story", year=2010)
+    db.insert("Ratings", id=245, name="Christmas Story", rating=9.1)
+    db.insert("Locations", id=1, movieId=4, locationId="CanadaToronto")
+
+    # Movies that *are* filmed in New York and reach the result -- the
+    # survivors that blind the baseline in Imdb2.
+    db.insert("Movies", id=30, name="Gotham Nights", year=2011)
+    db.insert("Ratings", id=300, name="Gotham Nights", rating=8.7)
+    db.insert("Locations", id=2, movieId=30, locationId="USANewYork")
+    db.insert("Movies", id=31, name="Harbor Lights", year=2012)
+    db.insert("Ratings", id=301, name="Harbor Lights", rating=8.4)
+    db.insert("Locations", id=3, movieId=31, locationId="USANewYork")
+
+
+def _insert_background_rows(
+    db: Database, rng: random.Random, scale: int
+) -> None:
+    for index in range(60 * scale):
+        movie_id = 1000 + index
+        year = 2000 + rng.randrange(14)
+        db.insert(
+            "Movies", id=movie_id, name=f"movie{index}", year=year
+        )
+        db.insert(
+            "Ratings",
+            id=10_000 + index,
+            name=f"movie{index}",
+            rating=round(5 + rng.random() * 5, 1),
+        )
+        for loc in range(rng.randrange(1, 3)):
+            db.insert(
+                "Locations",
+                id=20_000 + index * 3 + loc,
+                movieId=movie_id,
+                locationId=rng.choice(_CITIES),
+            )
+
+
+def query_q5() -> SPJASpec:
+    """Q5: recent, highly rated movies with their filming locations.
+
+    ``pi_{name, L.locationId}(L |><|_movieId
+    ((sigma_{M.year>2009} M) |><|_name (sigma_{R.rating>=8} R)))``
+    """
+    return SPJASpec(
+        aliases={"M": "Movies", "R": "Ratings", "L": "Locations"},
+        joins=[
+            JoinPair("M.name", "R.name", "name"),
+            JoinPair("M.id", "L.movieId", "movieId"),
+        ],
+        selections=[
+            attr_cmp("M.year", ">", 2009),
+            attr_cmp("R.rating", ">=", 8),
+        ],
+        projection=("name", "L.locationId"),
+    )
+
+
+IMDB_QUERIES = {"Q5": query_q5}

@@ -1,0 +1,283 @@
+"""The 19 evaluation use cases of the paper's Table 4.
+
+Each use case pairs a query of Table 3 with a Why-Not predicate.  The
+registry also records, per use case, the *qualitative expectation*
+distilled from the paper's Sec. 4.2 discussion (who answers, with which
+operator kinds) -- these are asserted by the integration tests and
+printed next to the measured answers by the Table 5 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable
+
+from ..relational.database import Database
+from ..core.canonical import CanonicalQuery, QuerySpec, canonicalize
+from .crime import CRIME_QUERIES, build_crime_db
+from .gov import GOV_QUERIES, build_gov_db
+from .imdb import IMDB_QUERIES, build_imdb_db
+
+#: database name -> builder
+DATABASES: dict[str, Callable[..., Database]] = {
+    "crime": build_crime_db,
+    "imdb": build_imdb_db,
+    "gov": build_gov_db,
+}
+
+#: query name -> (database name, spec builder)
+QUERIES: dict[str, tuple[str, Callable[[], QuerySpec]]] = {}
+for _name, _builder in CRIME_QUERIES.items():
+    QUERIES[_name] = ("crime", _builder)
+for _name, _builder in IMDB_QUERIES.items():
+    QUERIES[_name] = ("imdb", _builder)
+for _name, _builder in GOV_QUERIES.items():
+    QUERIES[_name] = ("gov", _builder)
+
+
+@dataclass(frozen=True)
+class UseCase:
+    """One evaluation scenario: a query plus a Why-Not predicate."""
+
+    name: str
+    query: str
+    predicate: str
+    #: qualitative expectations from Sec. 4.2 (asserted by tests)
+    expect: dict = field(default_factory=dict)
+
+    @property
+    def database(self) -> str:
+        return QUERIES[self.query][0]
+
+
+USE_CASES: tuple[UseCase, ...] = (
+    UseCase(
+        "Crime1",
+        "Q1",
+        "(Person.name: Hank, Crime.type: 'Car theft')",
+        expect={
+            # Hank has a sighting but no car theft near his witness:
+            # both traces die at the crime join.
+            "ned_condensed_ops": {"join"},
+            "ned_min_detailed": 2,
+        },
+    ),
+    UseCase(
+        "Crime2",
+        "Q1",
+        "(Person.name: Roger, Crime.type: 'Car theft')",
+        expect={
+            # Roger was never sighted: blocked at the very first join;
+            # the car thefts die at the crime join.
+            "ned_condensed_ops": {"join"},
+            "ned_condensed_size": 2,
+        },
+    ),
+    UseCase(
+        "Crime3",
+        "Q2",
+        "(Person.name: Roger, Crime.type: 'Car theft')",
+        expect={
+            # the sector > 99 selection is empty: crimes die there,
+            # Roger still dies at the sighting join
+            "ned_condensed_ops": {"join", "sigma"},
+        },
+    ),
+    UseCase(
+        "Crime4",
+        "Q2",
+        "(Person.name: Hank, Crime.type: 'Car theft')",
+        expect={"ned_condensed_ops": {"join", "sigma"}},
+    ),
+    UseCase(
+        "Crime5",
+        "Q2",
+        "(Person.name: Hank)",
+        expect={
+            # THE empty-intermediate-result case: NedExplain blames the
+            # join and reports the empty selection as secondary; the
+            # baseline blames the selection.
+            "ned_condensed_ops": {"join"},
+            "ned_secondary_ops": {"sigma"},
+            "whynot_ops": {"sigma"},
+        },
+    ),
+    UseCase(
+        "Crime6",
+        "Q3",
+        "(C2.type: Kidnapping)",
+        expect={
+            # self-join: the baseline falsely blames the C1 selection;
+            # NedExplain blames the crime-crime join
+            "ned_condensed_ops": {"join"},
+            "whynot_ops": {"sigma"},
+        },
+    ),
+    UseCase(
+        "Crime7",
+        "Q3",
+        "(W.name: Susan, C2.type: Kidnapping)",
+        expect={
+            # blame splits across the two joins for NedExplain; the
+            # baseline still reports only the (wrong) C1 selection
+            "ned_condensed_ops": {"join"},
+            "ned_condensed_size": 2,
+            "whynot_ops": {"sigma"},
+        },
+    ),
+    UseCase(
+        "Crime8",
+        "Q4",
+        "(P2.name: Audrey)",
+        expect={
+            # the baseline believes Audrey is not missing (a P1-side
+            # item reaches the result) and returns nothing
+            "whynot_empty": True,
+            "ned_nonempty": True,
+        },
+    ),
+    UseCase(
+        "Crime9",
+        "Q8",
+        "((Person.name: Betsy, ct: $x), $x > 8)",
+        expect={
+            # aggregation: (null, sigma) -- the count satisfies ct > 8
+            # before the sector selection, not after
+            "whynot_na": True,
+            "ned_null_entry": True,
+            "ned_null_op": "sigma",
+        },
+    ),
+    UseCase(
+        "Crime10",
+        "Q8",
+        "(Person.name: Roger)",
+        expect={
+            # Roger's trace dies below the breakpoint: a concrete
+            # (tid, join) pair deep in the tree
+            "whynot_na": True,
+            "ned_condensed_ops": {"join"},
+            "ned_tid_entries": True,
+        },
+    ),
+    UseCase(
+        "Imdb1",
+        "Q5",
+        "(name: Avatar)",
+        expect={
+            # Avatar (2009) dies at the year selection; its rating
+            # tuple dies at the name join
+            "ned_condensed_ops": {"join", "sigma"},
+        },
+    ),
+    UseCase(
+        "Imdb2",
+        "Q5",
+        "(name: 'Christmas Story', L.locationId: USANewYork)",
+        expect={
+            # renamed attribute + scattered values: the baseline finds
+            # survivors for both constraints and returns nothing;
+            # NedExplain blames the location join, and only it
+            "whynot_empty": True,
+            "ned_condensed_ops": {"join"},
+            "ned_condensed_size": 1,
+        },
+    ),
+    UseCase(
+        "Gov1",
+        "Q6",
+        "(Co.firstname: Christopher)",
+        expect={
+            # three Christophers die at the byear selection, MURPHY at
+            # the party join
+            "ned_condensed_ops": {"join", "sigma"},
+            "ned_min_detailed": 4,
+        },
+    ),
+    UseCase(
+        "Gov2",
+        "Q6",
+        "(Co.firstname: Christopher, Co.lastname: MURPHY)",
+        expect={"ned_condensed_ops": {"join"}, "ned_condensed_size": 1},
+    ),
+    UseCase(
+        "Gov3",
+        "Q6",
+        "(Co.firstname: Christopher, Co.lastname: GIBSON)",
+        expect={"ned_condensed_ops": {"sigma"}, "ned_condensed_size": 1},
+    ),
+    UseCase(
+        "Gov4",
+        "Q7",
+        "(sponsorId: 467)",
+        expect={
+            # a renamed join attribute: stages die at the substage
+            # selection, the sponsor at the join above
+            "ned_condensed_ops": {"join", "sigma"},
+            "ned_min_detailed": 4,
+        },
+    ),
+    UseCase(
+        "Gov5",
+        "Q7",
+        "((SPO.sponsorln: Lugar, E.camount: $x), $x >= 1000)",
+        expect={
+            # everything concentrates on the sponsor join
+            "ned_condensed_ops": {"join"},
+            "ned_condensed_size": 1,
+        },
+    ),
+    UseCase(
+        "Gov6",
+        "Q9",
+        "((SPO.sponsorln: Bennett, am: $x), $x = 10870)",
+        expect={
+            # sum drops from 18700 to 10000 at the substage selection
+            "whynot_na": True,
+            "ned_null_entry": True,
+            "ned_null_op": "sigma",
+        },
+    ),
+    UseCase(
+        "Gov7",
+        "Q12",
+        "(name: JOHN)",
+        expect={
+            # union: one answer set per branch -- a blocked congressman
+            # on the left, no compatible sponsor on the right
+            "ned_answer_sets": 2,
+            "ned_no_compatible_branch": True,
+        },
+    ),
+)
+
+USE_CASE_INDEX: dict[str, UseCase] = {uc.name: uc for uc in USE_CASES}
+
+
+# ---------------------------------------------------------------------------
+# Cached builders (databases and canonical queries are reused across
+# use cases, mirroring the experimental setup)
+# ---------------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def get_database(name: str, scale: int = 1) -> Database:
+    """Build (and cache) one of the three evaluation databases."""
+    return DATABASES[name](scale=scale)
+
+
+@lru_cache(maxsize=None)
+def get_canonical(query: str, scale: int = 1) -> CanonicalQuery:
+    """Canonicalize (and cache) one of the queries of Table 3."""
+    db_name, builder = QUERIES[query]
+    database = get_database(db_name, scale)
+    return canonicalize(builder(), database.schema)
+
+
+def use_case_setup(
+    name: str, scale: int = 1
+) -> tuple[UseCase, Database, CanonicalQuery]:
+    """Everything needed to run one use case."""
+    use_case = USE_CASE_INDEX[name]
+    database = get_database(use_case.database, scale)
+    canonical = get_canonical(use_case.query, scale)
+    return use_case, database, canonical

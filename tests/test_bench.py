@@ -1,0 +1,110 @@
+"""Tests for the benchmark harness (runner, phases, renderers)."""
+
+import pytest
+
+from repro.bench import (
+    PhaseAccumulator,
+    dominant_phase,
+    merge_accumulators,
+    render_fig5,
+    render_fig6,
+    render_table3,
+    render_table4,
+    render_table5,
+    run_use_case,
+)
+from repro.core.nedexplain import PHASES
+
+
+@pytest.fixture(scope="module")
+def crime5():
+    return run_use_case("Crime5")
+
+
+@pytest.fixture(scope="module")
+def crime9():
+    return run_use_case("Crime9")
+
+
+class TestRunner:
+    def test_answer_texts(self, crime5):
+        assert "m3" in crime5.ned_answer_text()
+        assert crime5.whynot_answer_text() == "m2"
+
+    def test_na_text(self, crime9):
+        assert crime9.whynot_answer_text() == "n.a."
+        assert crime9.whynot_total_ms is None
+
+    def test_timings_positive(self, crime5):
+        assert crime5.ned_total_ms > 0
+        assert crime5.whynot_total_ms is not None
+        assert crime5.whynot_total_ms > 0
+
+    def test_baseline_can_be_skipped(self):
+        result = run_use_case("Crime5", run_baseline=False)
+        assert result.whynot is None and not result.whynot_na
+
+    def test_no_compatible_branch_rendered(self):
+        result = run_use_case("Gov7", run_baseline=False)
+        assert "{}" in result.ned_answer_text()
+
+
+class TestPhases:
+    def test_accumulator(self, crime5):
+        acc = PhaseAccumulator()
+        acc.add(crime5.ned.phase_times_ms)
+        acc.add(crime5.ned.phase_times_ms)
+        assert acc.runs == 2
+        assert acc.grand_total_ms == pytest.approx(
+            2 * crime5.ned.total_time_ms
+        )
+        distribution = acc.distribution()
+        assert sum(distribution.values()) == pytest.approx(100.0)
+
+    def test_mean(self, crime5):
+        acc = PhaseAccumulator()
+        assert acc.mean_ms(PHASES[0]) == 0.0
+        acc.add(crime5.ned.phase_times_ms)
+        assert acc.mean_ms(PHASES[0]) == pytest.approx(
+            crime5.ned.phase_times_ms[PHASES[0]]
+        )
+
+    def test_merge(self, crime5):
+        a, b = PhaseAccumulator(), PhaseAccumulator()
+        a.add(crime5.ned.phase_times_ms)
+        b.add(crime5.ned.phase_times_ms)
+        merged = merge_accumulators([a, b])
+        assert merged.runs == 2
+
+    def test_dominant_phase(self):
+        assert dominant_phase(
+            {"Initialization": 5.0, "BottomUp": 1.0}
+        ) == "Initialization"
+
+
+class TestRenderers:
+    @pytest.fixture(scope="class")
+    def some_results(self):
+        return [run_use_case("Crime5"), run_use_case("Crime9")]
+
+    def test_table3(self):
+        text = render_table3()
+        assert "Q8" in text and "alpha" in text
+
+    def test_table4(self):
+        text = render_table4()
+        assert "Crime5" in text and "(Person.name: Hank)" in text
+
+    def test_table5(self, some_results):
+        text = render_table5(some_results)
+        assert "Crime5" in text and "n.a." in text
+
+    def test_fig5(self, some_results):
+        text = render_fig5(some_results)
+        for phase in PHASES:
+            assert phase in text
+        assert "%" in text
+
+    def test_fig6(self, some_results):
+        text = render_fig6(some_results)
+        assert "Crime5" in text and "#" in text

@@ -1,0 +1,247 @@
+"""Unit tests for canonicalization (Sec. 3.1, step 2b)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.core import (
+    JoinPair,
+    SPJASpec,
+    UnionSpec,
+    canonicalize,
+    is_at_or_above_breakpoint,
+)
+from repro.relational import (
+    Aggregate,
+    AggregateCall,
+    Join,
+    Project,
+    RelationLeaf,
+    Renaming,
+    Select,
+    Union,
+    attr_cmp,
+)
+from repro.workloads import get_canonical, get_database
+
+
+class TestRunningExampleTree:
+    """The canonical tree must reproduce Fig. 1(c)."""
+
+    def test_structure(self, running_example):
+        _db, canonical = running_example
+        root = canonical.root
+        assert isinstance(root, Aggregate)
+        select = root.child
+        assert isinstance(select, Select)
+        top_join = select.child
+        assert isinstance(top_join, Join)
+        low_join = top_join.left
+        assert isinstance(low_join, Join)
+        assert isinstance(top_join.right, RelationLeaf)
+        assert top_join.right.alias == "B"
+
+    def test_breakpoint_is_top_join(self, running_example):
+        """V = Q2, the smallest join covering A.name and B.price."""
+        _db, canonical = running_example
+        assert canonical.breakpoint is not None
+        assert isinstance(canonical.breakpoint, Join)
+        assert canonical.breakpoint.target_type >= {"A.name", "B.price"}
+
+    def test_selection_sits_right_above_breakpoint(self, running_example):
+        """sigma_{A.dob > 800BC} is placed just above V (Ex. 3.1)."""
+        _db, canonical = running_example
+        select = canonical.node("m2")
+        assert isinstance(select, Select)
+        assert select.child is canonical.breakpoint
+
+    def test_labels_in_tabq_order(self, running_example):
+        _db, canonical = running_example
+        assert canonical.node("m0").op == "join"
+        assert canonical.node("m1").op == "join"
+        assert canonical.node("m2").op == "sigma"
+        assert canonical.node("m3").op == "alpha"
+        assert canonical.node("A").op == "relation schema"
+
+    def test_frontier_is_just_v(self, running_example):
+        _db, canonical = running_example
+        assert canonical.frontier == (canonical.breakpoint,)
+
+    def test_pretty_marks_breakpoint(self, running_example):
+        _db, canonical = running_example
+        assert "* m1" in canonical.pretty()
+
+    def test_label_of(self, running_example):
+        _db, canonical = running_example
+        node = canonical.node("m1")
+        assert canonical.label_of(node) == "m1"
+        with pytest.raises(QueryError):
+            canonical.label_of(RelationLeaf(
+                get_database("crime").table("Person").schema
+            ))
+        with pytest.raises(QueryError):
+            canonical.node("zzz")
+
+
+class TestSpjCanonicalization:
+    def test_selections_pushed_to_leaves(self, spj_example):
+        """For SPJ queries the frontier is the leaves: the dob filter
+        sits directly above the A leaf."""
+        _db, canonical = spj_example
+        for node in canonical.root.postorder():
+            if isinstance(node, Select):
+                assert isinstance(node.child, RelationLeaf)
+                assert node.child.alias == "A"
+                break
+        else:
+            pytest.fail("no selection found")
+
+    def test_no_breakpoints_for_spj(self, spj_example):
+        _db, canonical = spj_example
+        assert canonical.breakpoints == ()
+        assert all(
+            isinstance(node, RelationLeaf) for node in canonical.frontier
+        )
+
+    def test_two_alias_selection_above_join(self):
+        canonical = get_canonical("Q4")
+        # sigma_{P1.name != P2.name} needs both aliases: above the join
+        selects = [
+            node
+            for node in canonical.root.postorder()
+            if isinstance(node, Select)
+        ]
+        cross = next(
+            s for s in selects if len(s.condition.attributes()) == 2
+        )
+        assert isinstance(cross.child, Join)
+
+
+class TestAggregateCanonicalization:
+    def test_q8_matches_paper_fig4e(self):
+        """Q8's tree: S|><|P at the bottom, crime join on top (= V),
+        selection above V, aggregation at the root."""
+        canonical = get_canonical("Q8")
+        assert canonical.node("m0").op == "join"
+        assert {leaf.alias for leaf in canonical.node("m0").leaves()} == {
+            "Person",
+            "Saw",
+        }
+        assert canonical.node("m2") is canonical.breakpoint
+        assert canonical.node("m3").op == "sigma"
+        assert canonical.node("m4").op == "alpha"
+
+    def test_selection_not_pushed_below_v(self):
+        """Even though sector is available at the Crime leaf, the
+        selection must stay above the visibility frontier."""
+        canonical = get_canonical("Q8")
+        select = canonical.node("m3")
+        assert isinstance(select, Select)
+        assert select.child is canonical.breakpoint
+
+    def test_is_at_or_above_breakpoint(self):
+        canonical = get_canonical("Q8")
+        assert is_at_or_above_breakpoint(canonical.node("m2"), canonical)
+        assert is_at_or_above_breakpoint(canonical.node("m3"), canonical)
+        assert not is_at_or_above_breakpoint(
+            canonical.node("m0"), canonical
+        )
+
+    def test_single_relation_aggregate(self):
+        db = get_database("gov")
+        spec = SPJASpec(
+            aliases={"SPO": "Sponsors"},
+            group_by=("SPO.party",),
+            aggregates=(AggregateCall("count", "SPO.id", "n"),),
+        )
+        canonical = canonicalize(spec, db.schema)
+        assert isinstance(canonical.root, Aggregate)
+        assert canonical.breakpoint is not None
+
+
+class TestUnionCanonicalization:
+    def test_q12_structure(self):
+        canonical = get_canonical("Q12")
+        assert isinstance(canonical.root, Union)
+        assert canonical.root.target_type == frozenset({"name"})
+
+    def test_union_aliases_merged(self):
+        canonical = get_canonical("Q12")
+        assert set(canonical.aliases) == {"Co", "AA", "SPO"}
+
+
+class TestEdgeCases:
+    def test_empty_alias_list_rejected(self, tiny_db):
+        with pytest.raises(QueryError):
+            canonicalize(SPJASpec(aliases={}), tiny_db.schema)
+
+    def test_single_relation_projection(self, tiny_db):
+        spec = SPJASpec(aliases={"R": "R"}, projection=("R.x",))
+        canonical = canonicalize(spec, tiny_db.schema)
+        assert isinstance(canonical.root, Project)
+
+    def test_projection_equal_to_type_elided(self, tiny_db):
+        spec = SPJASpec(
+            aliases={"R": "R"}, projection=("R.id", "R.x", "R.y")
+        )
+        canonical = canonicalize(spec, tiny_db.schema)
+        assert isinstance(canonical.root, RelationLeaf)
+
+    def test_cross_product_for_disconnected_aliases(self, tiny_db):
+        spec = SPJASpec(
+            aliases={"R": "R", "S": "S"},
+            joins=[],
+            projection=("R.x", "S.z"),
+        )
+        canonical = canonicalize(spec, tiny_db.schema)
+        joins = [
+            n for n in canonical.root.postorder() if isinstance(n, Join)
+        ]
+        assert len(joins) == 1
+        assert joins[0].renaming.triples == ()
+
+    def test_residual_join_pair_becomes_selection(self, tiny_db):
+        # a cyclic join condition over already-connected aliases
+        spec = SPJASpec(
+            aliases={"R": "R", "S": "S"},
+            joins=[
+                JoinPair("R.x", "S.x"),
+                JoinPair("R.id", "S.id", "rid"),
+                JoinPair("R.y", "S.z", "yz"),  # third pair: same aliases
+            ],
+            projection=("R.y",),
+        )
+        canonical = canonicalize(spec, tiny_db.schema)
+        # two pairs are consumed by the single R-S join; the rest
+        # become equality selections above it
+        joins = [
+            n for n in canonical.root.postorder() if isinstance(n, Join)
+        ]
+        assert len(joins) == 1
+        assert len(joins[0].renaming) >= 2
+
+    def test_unplaceable_selection_rejected(self, tiny_db):
+        spec = SPJASpec(
+            aliases={"R": "R"},
+            selections=[attr_cmp("S.z", "=", "p")],
+            projection=("R.x",),
+        )
+        with pytest.raises(QueryError):
+            canonicalize(spec, tiny_db.schema)
+
+    def test_join_pair_with_unknown_alias_rejected(self, tiny_db):
+        spec = SPJASpec(
+            aliases={"R": "R"},
+            joins=[JoinPair("R.x", "Z.x")],
+            projection=("R.x",),
+        )
+        with pytest.raises(QueryError):
+            canonicalize(spec, tiny_db.schema)
+
+    def test_union_spec_builds(self, tiny_db):
+        left = SPJASpec(aliases={"R": "R"}, projection=("R.x",))
+        right = SPJASpec(aliases={"S": "S"}, projection=("S.x",))
+        spec = UnionSpec(
+            left, right, Renaming.of(("R.x", "S.x", "x"))
+        )
+        canonical = canonicalize(spec, tiny_db.schema)
+        assert isinstance(canonical.root, Union)

@@ -1,0 +1,278 @@
+"""Unit tests for the condition language and its satisfiability
+procedure (Def. 2.5 and the valuation existence check of Def. 2.8)."""
+
+import pytest
+
+from repro.errors import ConditionError
+from repro.relational import (
+    And,
+    Attr,
+    Comparison,
+    Const,
+    FalseCondition,
+    Or,
+    TrueCondition,
+    Var,
+    attr_attr_cmp,
+    attr_cmp,
+    base_tuple,
+    compare_values,
+    is_satisfiable,
+    var_cmp,
+    var_var_cmp,
+)
+
+
+# ---------------------------------------------------------------------------
+# Value comparison semantics
+# ---------------------------------------------------------------------------
+class TestCompareValues:
+    @pytest.mark.parametrize(
+        "a,op,b,expected",
+        [
+            (1, "=", 1, True),
+            (1, "!=", 2, True),
+            (1, "<", 2, True),
+            (2, ">", 1, True),
+            (1, "<=", 1, True),
+            (1, ">=", 2, False),
+            ("a", "<", "b", True),
+            (1, "=", 1.0, True),
+        ],
+    )
+    def test_basic(self, a, op, b, expected):
+        assert compare_values(a, op, b) is expected
+
+    def test_null_is_never_comparable(self):
+        for op in ("=", "!=", "<", ">", "<=", ">="):
+            assert compare_values(None, op, 1) is False
+            assert compare_values(1, op, None) is False
+
+    def test_cross_domain_is_false(self):
+        assert compare_values(1, "=", "1") is False
+        assert compare_values("a", "<", 1) is False
+
+    def test_bool_only_compares_with_bool(self):
+        assert compare_values(True, "=", True) is True
+        assert compare_values(True, "=", 1) is False
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ConditionError):
+            compare_values(1, "~", 2)
+
+
+# ---------------------------------------------------------------------------
+# Condition evaluation
+# ---------------------------------------------------------------------------
+class TestConditionEvaluation:
+    def test_attr_cmp_against_tuple(self):
+        t = base_tuple("A", "t1", dob=-400)
+        assert attr_cmp("A.dob", ">", -800).evaluate(t)
+        assert not attr_cmp("A.dob", ">", -400).evaluate(t)
+
+    def test_attr_attr_cmp(self):
+        t = base_tuple("A", "t1", x=1, y=2)
+        assert attr_attr_cmp("A.x", "!=", "A.y").evaluate(t)
+
+    def test_missing_attr_raises(self):
+        t = base_tuple("A", "t1", x=1)
+        with pytest.raises(ConditionError):
+            attr_cmp("A.z", "=", 1).evaluate(t)
+
+    def test_var_with_valuation(self):
+        cond = var_cmp("v", ">", 10)
+        assert cond.evaluate(valuation={"v": 11})
+        assert not cond.evaluate(valuation={"v": 9})
+
+    def test_unbound_var_raises(self):
+        with pytest.raises(ConditionError):
+            var_cmp("v", ">", 10).evaluate(valuation={})
+
+    def test_true_false_conditions(self):
+        assert TrueCondition().evaluate()
+        assert not FalseCondition().evaluate()
+
+    def test_and_or_evaluation(self):
+        t = base_tuple("A", "t1", x=1, y=2)
+        both = attr_cmp("A.x", "=", 1) & attr_cmp("A.y", "=", 2)
+        either = attr_cmp("A.x", "=", 9) | attr_cmp("A.y", "=", 2)
+        assert both.evaluate(t)
+        assert either.evaluate(t)
+
+
+# ---------------------------------------------------------------------------
+# Structure: simplification, negation, renaming, introspection
+# ---------------------------------------------------------------------------
+class TestConditionStructure:
+    def test_and_of_simplifies_trivia(self):
+        assert isinstance(And.of(), TrueCondition)
+        assert isinstance(And.of(TrueCondition()), TrueCondition)
+        only = attr_cmp("A.x", "=", 1)
+        assert And.of(only) is only
+        assert isinstance(
+            And.of(only, FalseCondition()), FalseCondition
+        )
+
+    def test_or_of_simplifies_trivia(self):
+        assert isinstance(Or.of(), FalseCondition)
+        only = attr_cmp("A.x", "=", 1)
+        assert Or.of(only, FalseCondition()) is only
+        assert isinstance(Or.of(only, TrueCondition()), TrueCondition)
+
+    def test_nested_and_flattens(self):
+        c1, c2, c3 = (attr_cmp("A.x", "=", i) for i in range(3))
+        cond = And.of(And.of(c1, c2), c3)
+        assert cond.conjuncts() == (c1, c2, c3)
+
+    def test_negation_of_comparison(self):
+        assert attr_cmp("A.x", "<", 1).negated() == attr_cmp(
+            "A.x", ">=", 1
+        )
+        assert attr_cmp("A.x", "=", 1).negated() == attr_cmp(
+            "A.x", "!=", 1
+        )
+
+    def test_de_morgan(self):
+        c1 = attr_cmp("A.x", "=", 1)
+        c2 = attr_cmp("A.y", "=", 2)
+        negated = And.of(c1, c2).negated()
+        assert isinstance(negated, Or)
+        assert set(negated.parts) == {c1.negated(), c2.negated()}
+
+    def test_flipped(self):
+        cmp = Comparison(Const(1), "<", Attr("A.x"))
+        assert cmp.flipped() == Comparison(Attr("A.x"), ">", Const(1))
+
+    def test_attributes_and_variables(self):
+        cond = And.of(attr_cmp("A.x", "=", 1), var_cmp("v", ">", 2))
+        assert cond.attributes() == frozenset({"A.x"})
+        assert cond.variables() == frozenset({"v"})
+
+    def test_rename_attributes(self):
+        cond = attr_attr_cmp("A.x", "=", "B.y")
+        renamed = cond.rename_attributes({"A.x": "x"})
+        assert renamed.attributes() == frozenset({"x", "B.y"})
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(ConditionError):
+            Comparison(Attr("A.x"), "===", Const(1))
+
+
+# ---------------------------------------------------------------------------
+# Satisfiability (the heart of c-tuple compatibility)
+# ---------------------------------------------------------------------------
+class TestSatisfiability:
+    def test_true_is_satisfiable(self):
+        assert is_satisfiable(TrueCondition())
+
+    def test_false_is_not(self):
+        assert not is_satisfiable(FalseCondition())
+
+    def test_free_variable_bound_above(self):
+        assert is_satisfiable(var_cmp("x", ">", 25))
+
+    def test_bound_variable_checked(self):
+        cond = var_cmp("x", ">", 25)
+        assert is_satisfiable(cond, {"x": 30})
+        assert not is_satisfiable(cond, {"x": 20})
+
+    def test_contradicting_bounds(self):
+        cond = And.of(var_cmp("x", ">", 10), var_cmp("x", "<", 5))
+        assert not is_satisfiable(cond)
+
+    def test_touching_bounds_non_strict_ok(self):
+        cond = And.of(var_cmp("x", ">=", 5), var_cmp("x", "<=", 5))
+        assert is_satisfiable(cond)
+
+    def test_touching_bounds_strict_fails(self):
+        cond = And.of(var_cmp("x", ">=", 5), var_cmp("x", "<", 5))
+        assert not is_satisfiable(cond)
+
+    def test_point_excluded(self):
+        cond = And.of(
+            var_cmp("x", ">=", 5),
+            var_cmp("x", "<=", 5),
+            var_cmp("x", "!=", 5),
+        )
+        assert not is_satisfiable(cond)
+
+    def test_pin_conflicts(self):
+        cond = And.of(var_cmp("x", "=", 3), var_cmp("x", "=", 4))
+        assert not is_satisfiable(cond)
+
+    def test_pin_respects_bounds(self):
+        cond = And.of(var_cmp("x", "=", 3), var_cmp("x", ">", 5))
+        assert not is_satisfiable(cond)
+
+    def test_string_domain(self):
+        cond = And.of(var_cmp("x", ">", "a"), var_cmp("x", "<", "c"))
+        assert is_satisfiable(cond)
+        assert not is_satisfiable(cond, {"x": "d"})
+
+    def test_var_var_equality_propagates(self):
+        cond = And.of(
+            var_var_cmp("x", "=", "y"),
+            var_cmp("x", "=", 3),
+            var_cmp("y", "=", 4),
+        )
+        assert not is_satisfiable(cond)
+
+    def test_var_var_order_chain(self):
+        cond = And.of(
+            var_var_cmp("x", "<", "y"),
+            var_cmp("x", ">", 10),
+            var_cmp("y", "<", 11),
+        )
+        # 10 < x < y < 11 is satisfiable over a dense domain
+        assert is_satisfiable(cond)
+
+    def test_var_var_order_contradiction(self):
+        cond = And.of(
+            var_var_cmp("x", "<", "y"),
+            var_cmp("x", ">=", 11),
+            var_cmp("y", "<=", 11),
+        )
+        assert not is_satisfiable(cond)
+
+    def test_strict_cycle_detected(self):
+        cond = And.of(
+            var_var_cmp("x", "<", "y"), var_var_cmp("y", "<", "x")
+        )
+        assert not is_satisfiable(cond)
+
+    def test_nonstrict_cycle_fine(self):
+        cond = And.of(
+            var_var_cmp("x", "<=", "y"), var_var_cmp("y", "<=", "x")
+        )
+        assert is_satisfiable(cond)
+
+    def test_self_comparison(self):
+        assert not is_satisfiable(var_var_cmp("x", "<", "x"))
+        assert not is_satisfiable(var_var_cmp("x", "!=", "x"))
+        assert is_satisfiable(var_var_cmp("x", "<=", "x"))
+
+    def test_neq_between_pinned_vars(self):
+        cond = And.of(
+            var_var_cmp("x", "!=", "y"),
+            var_cmp("x", "=", 3),
+            var_cmp("y", "=", 3),
+        )
+        assert not is_satisfiable(cond)
+
+    def test_neq_between_free_vars_ok(self):
+        assert is_satisfiable(var_var_cmp("x", "!=", "y"))
+
+    def test_disjunction_checked_branchwise(self):
+        cond = Or.of(
+            And.of(var_cmp("x", ">", 10), var_cmp("x", "<", 5)),
+            var_cmp("x", "=", 1),
+        )
+        assert is_satisfiable(cond)
+
+    def test_attribute_in_condition_rejected(self):
+        with pytest.raises(ConditionError):
+            is_satisfiable(attr_cmp("A.x", "=", 1))
+
+    def test_example_from_paper(self):
+        # Ex. 2.3: (Homer, x1), x1 > 25 -- x1 free, so satisfiable
+        assert is_satisfiable(var_cmp("x1", ">", 25), {})

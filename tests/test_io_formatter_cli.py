@@ -1,0 +1,220 @@
+"""Tests for CSV persistence, the SQL formatter, and the CLI."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError
+from repro.cli import main
+from repro.core import JoinPair, SPJASpec, UnionSpec
+from repro.relational import AggregateCall, Database, Renaming, attr_cmp
+from repro.relational.csv_io import load_database, save_database
+from repro.relational.sql import parse_sql, sql_to_spec
+from repro.relational.sql.formatter import format_spec
+from repro.relational.sql.translate import translate
+
+
+# ---------------------------------------------------------------------------
+# CSV persistence
+# ---------------------------------------------------------------------------
+class TestCsvIo:
+    def test_round_trip(self, running_example_db, tmp_path):
+        save_database(running_example_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        assert loaded.table_names() == running_example_db.table_names()
+        assert loaded.size() == running_example_db.size()
+        homer = loaded.table("A").by_tid("A:a1")
+        assert homer["A.name"] == "Homer"
+        assert homer["A.dob"] == -800  # int survives the round trip
+
+    def test_key_declarations_survive(self, running_example_db, tmp_path):
+        save_database(running_example_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        assert loaded.table("A").schema.key == "aid"
+        assert loaded.table("AB").schema.key is None
+
+    def test_null_round_trip(self, tmp_path):
+        db = Database()
+        db.create_table("T", ["id", "v"], key="id")
+        db.insert("T", id=1, v=None)
+        db.insert("T", id=2, v="x")
+        save_database(db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        assert loaded.table("T").by_tid("T:1")["T.v"] is None
+
+    def test_float_round_trip(self, tmp_path):
+        db = Database()
+        db.create_table("T", ["id", "v"], key="id")
+        db.insert("T", id=1, v=3.5)
+        save_database(db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        assert loaded.table("T").by_tid("T:1")["T.v"] == 3.5
+
+    def test_schemaless_directory(self, tmp_path):
+        (tmp_path / "People.csv").write_text(
+            "id,name\n1,ada\n2,grace\n"
+        )
+        loaded = load_database(tmp_path)
+        assert loaded.table("People").rows[0]["People.name"] == "ada"
+        # without a catalog there is no key: ids are auto-assigned
+        assert loaded.table("People").schema.key is None
+
+    def test_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_database(tmp_path / "nope")
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(SchemaError):
+            load_database(tmp_path)
+
+    def test_header_only_csv_loads_empty(self, tmp_path):
+        (tmp_path / "T.csv").write_text("id,v\n")
+        loaded = load_database(tmp_path)
+        assert len(loaded.table("T")) == 0
+
+    def test_headerless_csv_rejected(self, tmp_path):
+        (tmp_path / "T.csv").write_text("")
+        with pytest.raises(SchemaError):
+            load_database(tmp_path)
+
+    def test_explainable_after_loading(self, running_example_db, tmp_path):
+        from repro.core import NedExplain, canonicalize
+
+        save_database(running_example_db, tmp_path / "db")
+        loaded = load_database(tmp_path / "db")
+        spec = SPJASpec(
+            aliases={"A": "A", "AB": "AB", "B": "B"},
+            joins=[JoinPair("A.aid", "AB.aid"),
+                   JoinPair("AB.bid", "B.bid")],
+            selections=[attr_cmp("A.dob", ">", -800)],
+            group_by=("A.name",),
+            aggregates=(AggregateCall("avg", "B.price", "ap"),),
+        )
+        canonical = canonicalize(spec, loaded.schema)
+        report = NedExplain(canonical, database=loaded).explain(
+            "((A.name: Homer, ap: $x), $x > 25)"
+        )
+        assert report.condensed_labels == ("m2",)
+
+
+# ---------------------------------------------------------------------------
+# SQL formatter (round trips)
+# ---------------------------------------------------------------------------
+class TestFormatter:
+    def _round_trip(self, spec, schema):
+        text = format_spec(spec)
+        return translate(parse_sql(text), schema)
+
+    def test_spj_round_trip(self, tiny_db):
+        spec = SPJASpec(
+            aliases={"R": "R", "S": "S"},
+            joins=[JoinPair("R.x", "S.x")],
+            selections=[attr_cmp("R.y", ">", 5)],
+            projection=("R.y", "S.z"),
+        )
+        back = self._round_trip(spec, tiny_db.schema)
+        assert back.aliases == spec.aliases
+        assert back.joins[0].left == "R.x"
+        assert back.selections == spec.selections
+        assert back.projection == spec.projection
+
+    def test_aggregate_round_trip(self, tiny_db):
+        spec = SPJASpec(
+            aliases={"R": "R"},
+            group_by=("R.x",),
+            aggregates=(AggregateCall("sum", "R.y", "total"),),
+        )
+        back = self._round_trip(spec, tiny_db.schema)
+        assert back.group_by == spec.group_by
+        assert back.aggregates == spec.aggregates
+
+    def test_union_round_trip(self, tiny_db):
+        spec = UnionSpec(
+            SPJASpec(aliases={"R": "R"}, projection=("R.x",)),
+            SPJASpec(aliases={"S": "S"}, projection=("S.x",)),
+            Renaming.of(("R.x", "S.x", "x")),
+        )
+        back = self._round_trip(spec, tiny_db.schema)
+        assert isinstance(back, UnionSpec)
+        assert back.renaming.codomain == frozenset({"x"})
+
+    def test_string_literals_escaped(self, tiny_db):
+        spec = SPJASpec(
+            aliases={"R": "R"},
+            selections=[attr_cmp("R.x", "=", "o'hara")],
+            projection=("R.y",),
+        )
+        back = self._round_trip(spec, tiny_db.schema)
+        assert back.selections == spec.selections
+
+    def test_select_star(self, tiny_db):
+        spec = SPJASpec(aliases={"R": "R"}, projection=None)
+        assert "SELECT *" in format_spec(spec)
+
+    def test_alias_rendering(self, tiny_db):
+        spec = SPJASpec(aliases={"a": "R"}, projection=("a.x",))
+        assert "R a" in format_spec(spec)
+
+    def test_unsupported_condition_rejected(self, tiny_db):
+        from repro.relational import Or
+
+        spec = SPJASpec(
+            aliases={"R": "R"},
+            selections=[
+                Or.of(attr_cmp("R.x", "=", 1), attr_cmp("R.y", "=", 2))
+            ],
+            projection=("R.x",),
+        )
+        with pytest.raises(QueryError):
+            format_spec(spec)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo", "Crime5"]) == 0
+        out = capsys.readouterr().out
+        assert "NedExplain" in out and "m3" in out and "m2" in out
+
+    def test_demo_unknown_case(self, capsys):
+        assert main(["demo", "Nope"]) == 2
+        assert "unknown use case" in capsys.readouterr().err
+
+    def test_explain_over_csv(
+        self, running_example_db, tmp_path, capsys
+    ):
+        save_database(running_example_db, tmp_path / "db")
+        code = main(
+            [
+                "explain",
+                "--data", str(tmp_path / "db"),
+                "--sql",
+                "SELECT A.name, AVG(B.price) AS ap FROM A, AB, B "
+                "WHERE A.dob > -800 AND A.aid = AB.aid "
+                "AND B.bid = AB.bid GROUP BY A.name",
+                "--why-not", "((A.name: Homer, ap: $x), $x > 25)",
+                "--baseline", "--repairs", "--show-result",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detailed : (A:a1, m2)" in out
+        assert "repair:" in out and "[verified]" in out
+        assert "Sophocles" in out  # --show-result
+
+    def test_explain_reports_errors(self, tmp_path, capsys):
+        code = main(
+            [
+                "explain",
+                "--data", str(tmp_path),
+                "--sql", "SELECT x FROM T",
+                "--why-not", "(x: 1)",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_evaluate(self, capsys):
+        assert main(["evaluate"]) == 0
+        out = capsys.readouterr().out
+        assert "Crime1" in out and "Gov7" in out

@@ -1,0 +1,147 @@
+"""Unit tests for renamings (Def. 2.1) and aggregate calls (Def. 2.2-3)."""
+
+import pytest
+
+from repro.errors import QueryError, RenamingError
+from repro.relational import (
+    AggregateCall,
+    RenameTriple,
+    Renaming,
+    base_tuple,
+    natural_renaming,
+)
+from repro.relational.aggregates import check_distinct_aliases
+
+
+# ---------------------------------------------------------------------------
+# Renamings
+# ---------------------------------------------------------------------------
+class TestRenaming:
+    def test_codomain(self):
+        nu = Renaming.of(("A.aid", "AB.aid", "aid"))
+        assert nu.codomain == frozenset({"aid"})
+
+    def test_new_attribute_must_be_unqualified(self):
+        with pytest.raises(RenamingError):
+            RenameTriple("A.x", "B.x", "C.x")
+
+    def test_same_source_twice_rejected(self):
+        with pytest.raises(RenamingError):
+            RenameTriple("A.x", "A.x", "x")
+
+    def test_duplicate_new_names_rejected(self):
+        with pytest.raises(RenamingError):
+            Renaming.of(("A.x", "B.x", "v"), ("A.y", "B.y", "v"))
+
+    def test_source_mapped_twice_rejected(self):
+        with pytest.raises(RenamingError):
+            Renaming.of(("A.x", "B.x", "v"), ("A.x", "B.y", "w"))
+
+    def test_validate_against(self):
+        nu = Renaming.of(("A.x", "B.x", "x"))
+        nu.validate_against({"A.x"}, {"B.x"})
+        with pytest.raises(RenamingError):
+            nu.validate_against({"A.y"}, {"B.x"})
+        with pytest.raises(RenamingError):
+            nu.validate_against({"A.x"}, {"B.y"})
+
+    def test_validate_clash_with_existing_attr(self):
+        nu = Renaming.of(("A.x", "B.x", "y"))
+        with pytest.raises(RenamingError):
+            nu.validate_against({"A.x", "y"}, {"B.x"})
+
+    def test_apply_to_attribute(self):
+        nu = Renaming.of(("A.x", "B.x", "x"))
+        assert nu.apply_to_attribute("A.x") == "x"
+        assert nu.apply_to_attribute("B.x") == "x"
+        assert nu.apply_to_attribute("A.y") == "A.y"
+
+    def test_apply_to_type(self):
+        nu = Renaming.of(("A.x", "B.x", "x"))
+        assert nu.apply_to_type({"A.x", "A.y"}) == frozenset({"x", "A.y"})
+
+    def test_left_right_mappings(self):
+        nu = Renaming.of(("A.x", "B.x", "x"))
+        assert nu.left_mapping({"A.x", "A.y"}) == {"A.x": "x"}
+        assert nu.right_mapping({"B.x"}) == {"B.x": "x"}
+
+    def test_inversion(self):
+        nu = Renaming.of(("A.x", "B.x", "x"))
+        assert nu.invert_left("x") == "A.x"
+        assert nu.invert_right("x") == "B.x"
+        assert nu.invert_left("other") == "other"
+
+    def test_natural_renaming_defaults_to_left_short_name(self):
+        nu = natural_renaming([("A.aid", "AB.aid")])
+        assert nu.triples[0].new == "aid"
+
+    def test_natural_renaming_explicit_names(self):
+        nu = natural_renaming([("A.x", "B.y")], new_names=["v"])
+        assert nu.triples[0].new == "v"
+
+    def test_natural_renaming_length_mismatch(self):
+        with pytest.raises(RenamingError):
+            natural_renaming([("A.x", "B.y")], new_names=["v", "w"])
+
+    def test_iteration_and_len(self):
+        nu = Renaming.of(("A.x", "B.x", "x"), ("A.y", "B.y", "y"))
+        assert len(nu) == 2
+        assert [t.new for t in nu] == ["x", "y"]
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+def _group(*prices):
+    return [
+        base_tuple("B", f"t{i}", price=p) for i, p in enumerate(prices)
+    ]
+
+
+class TestAggregateCall:
+    def test_sum(self):
+        call = AggregateCall("sum", "B.price", "s")
+        assert call.compute(_group(1, 2, 3)) == 6
+
+    def test_count_ignores_nulls(self):
+        call = AggregateCall("count", "B.price", "c")
+        assert call.compute(_group(1, None, 3)) == 2
+
+    def test_avg(self):
+        call = AggregateCall("avg", "B.price", "a")
+        assert call.compute(_group(15, 45)) == 30
+
+    def test_min_max(self):
+        assert AggregateCall("min", "B.price", "m").compute(
+            _group(3, 1, 2)
+        ) == 1
+        assert AggregateCall("max", "B.price", "m").compute(
+            _group(3, 1, 2)
+        ) == 3
+
+    def test_empty_group(self):
+        assert AggregateCall("count", "B.price", "c").compute([]) == 0
+        assert AggregateCall("sum", "B.price", "s").compute([]) is None
+        assert AggregateCall("avg", "B.price", "a").compute([]) is None
+        assert AggregateCall("min", "B.price", "m").compute([]) is None
+
+    def test_all_null_group(self):
+        assert AggregateCall("sum", "B.price", "s").compute(
+            _group(None, None)
+        ) is None
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateCall("median", "B.price", "m")
+
+    def test_qualified_alias_rejected(self):
+        with pytest.raises(QueryError):
+            AggregateCall("sum", "B.price", "B.s")
+
+    def test_check_distinct_aliases(self):
+        calls = [
+            AggregateCall("sum", "B.price", "s"),
+            AggregateCall("avg", "B.price", "s"),
+        ]
+        with pytest.raises(QueryError):
+            check_distinct_aliases(calls)

@@ -1,0 +1,311 @@
+"""Unit tests for the SQL frontend (lexer, parser, translator)."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.core import SPJASpec, UnionSpec, canonicalize
+from repro.relational import Database
+from repro.relational.sql import (
+    parse_sql,
+    sql_to_canonical,
+    sql_to_spec,
+    tokenize,
+)
+from repro.relational.sql.ast_nodes import (
+    SelectAggregate,
+    SelectColumn,
+    SelectStatement,
+    UnionStatement,
+)
+
+
+@pytest.fixture()
+def schema(tiny_db):
+    return tiny_db.schema
+
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select from where")
+        assert [t.kind for t in tokens[:-1]] == ["KEYWORD"] * 3
+
+    def test_identifiers(self):
+        (tok, _eof) = tokenize("my_table")
+        assert tok.kind == "IDENT" and tok.text == "my_table"
+
+    def test_aggregate_keywords(self):
+        (tok, _eof) = tokenize("SUM")
+        assert tok.kind == "AGG" and tok.text == "sum"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 -7")
+        assert [t.text for t in tokens[:-1]] == ["42", "3.14", "-7"]
+
+    def test_strings_both_quotes(self):
+        tokens = tokenize("'a b' \"c\"")
+        assert [t.text for t in tokens[:-1]] == ["a b", "c"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_symbols_and_diamond(self):
+        tokens = tokenize("<> != <= >= < > = ( ) , . *")
+        assert tokens[0].text == "!="  # <> normalized
+        assert tokens[1].text == "!="
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT -- comment\n x")
+        assert [t.text for t in tokens[:-1]] == ["SELECT", "x"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+class TestParser:
+    def test_simple_select(self):
+        stmt = parse_sql("SELECT R.x FROM R")
+        assert isinstance(stmt, SelectStatement)
+        assert isinstance(stmt.select_items[0], SelectColumn)
+        assert stmt.tables[0].table == "R"
+
+    def test_select_star(self):
+        stmt = parse_sql("SELECT * FROM R")
+        assert stmt.select_star
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT a.x FROM R a, S AS b")
+        assert stmt.tables[0].effective_alias == "a"
+        assert stmt.tables[1].effective_alias == "b"
+
+    def test_where_conjunction(self):
+        stmt = parse_sql(
+            "SELECT R.x FROM R WHERE R.x = 1 AND R.y > 'a'"
+        )
+        assert len(stmt.where) == 2
+        assert stmt.where[1].op == ">"
+
+    def test_group_by_and_aggregate(self):
+        stmt = parse_sql(
+            "SELECT R.x, COUNT(R.y) AS c FROM R GROUP BY R.x"
+        )
+        agg = stmt.select_items[1]
+        assert isinstance(agg, SelectAggregate)
+        assert agg.function == "count" and agg.alias == "c"
+        assert stmt.group_by[0].column == "x"
+
+    def test_union(self):
+        stmt = parse_sql("SELECT R.x FROM R UNION SELECT S.x FROM S")
+        assert isinstance(stmt, UnionStatement)
+
+    def test_union_all_accepted(self):
+        stmt = parse_sql(
+            "SELECT R.x FROM R UNION ALL SELECT S.x FROM S"
+        )
+        assert isinstance(stmt, UnionStatement)
+
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT R.x")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT R.x FROM R extra nonsense ,")
+
+    def test_bad_comparison(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT R.x FROM R WHERE R.x LIKE 'a'")
+
+
+# ---------------------------------------------------------------------------
+# Translation
+# ---------------------------------------------------------------------------
+class TestTranslate:
+    def test_join_from_cross_alias_equality(self, schema):
+        spec = sql_to_spec(
+            "SELECT R.y FROM R, S WHERE R.x = S.x", schema
+        )
+        assert isinstance(spec, SPJASpec)
+        assert len(spec.joins) == 1
+        assert spec.joins[0].left == "R.x"
+        assert spec.selections == []
+
+    def test_same_alias_equality_is_selection(self, schema):
+        spec = sql_to_spec(
+            "SELECT R.y FROM R WHERE R.x = R.y", schema
+        )
+        assert spec.joins == []
+        assert len(spec.selections) == 1
+
+    def test_literal_comparison_is_selection(self, schema):
+        spec = sql_to_spec("SELECT R.y FROM R WHERE R.y > 5", schema)
+        assert len(spec.selections) == 1
+
+    def test_literal_on_left_flipped(self, schema):
+        spec = sql_to_spec("SELECT R.y FROM R WHERE 5 < R.y", schema)
+        (cond,) = spec.selections
+        assert ">" in repr(cond)
+
+    def test_unqualified_column_resolved(self, schema):
+        spec = sql_to_spec("SELECT y FROM R", schema)
+        assert spec.projection == ("R.y",)
+
+    def test_ambiguous_column_rejected(self, schema):
+        with pytest.raises(SqlSyntaxError):
+            sql_to_spec("SELECT x FROM R, S", schema)
+
+    def test_unknown_column_rejected(self, schema):
+        with pytest.raises(SqlSyntaxError):
+            sql_to_spec("SELECT nope FROM R", schema)
+
+    def test_unknown_table_rejected(self, schema):
+        with pytest.raises(SqlSyntaxError):
+            sql_to_spec("SELECT x FROM Nope", schema)
+
+    def test_unknown_alias_rejected(self, schema):
+        with pytest.raises(SqlSyntaxError):
+            sql_to_spec("SELECT Z.x FROM R", schema)
+
+    def test_duplicate_alias_rejected(self, schema):
+        with pytest.raises(SqlSyntaxError):
+            sql_to_spec("SELECT R.x FROM R, R", schema)
+
+    def test_self_join_with_aliases(self, schema):
+        spec = sql_to_spec(
+            "SELECT a.y FROM R a, R b WHERE a.x = b.x", schema
+        )
+        assert spec.aliases == {"a": "R", "b": "R"}
+        assert len(spec.joins) == 1
+
+    def test_aggregation(self, schema):
+        spec = sql_to_spec(
+            "SELECT R.x, SUM(R.y) AS total FROM R GROUP BY R.x",
+            schema,
+        )
+        assert spec.group_by == ("R.x",)
+        assert spec.aggregates[0].alias == "total"
+
+    def test_aggregate_default_alias(self, schema):
+        spec = sql_to_spec(
+            "SELECT R.x, AVG(R.y) FROM R GROUP BY R.x", schema
+        )
+        assert spec.aggregates[0].alias == "avg_y"
+
+    def test_non_grouped_plain_column_rejected(self, schema):
+        with pytest.raises(SqlSyntaxError):
+            sql_to_spec(
+                "SELECT R.y, SUM(R.y) FROM R GROUP BY R.x", schema
+            )
+
+    def test_constant_conjunct_rejected(self, schema):
+        with pytest.raises(SqlSyntaxError):
+            sql_to_spec("SELECT R.x FROM R WHERE 1 = 1", schema)
+
+    def test_union_renaming_from_as(self, schema):
+        spec = sql_to_spec(
+            "SELECT R.y AS v FROM R UNION SELECT S.z FROM S", schema
+        )
+        assert isinstance(spec, UnionSpec)
+        (triple,) = spec.renaming.triples
+        assert triple.new == "v"
+        assert triple.left == "R.y" and triple.right == "S.z"
+
+    def test_union_width_mismatch(self, schema):
+        with pytest.raises(SqlSyntaxError):
+            sql_to_spec(
+                "SELECT R.x, R.y FROM R UNION SELECT S.z FROM S",
+                schema,
+            )
+
+    def test_sql_to_canonical_end_to_end(self, tiny_db):
+        canonical = sql_to_canonical(
+            "SELECT R.y, S.z FROM R, S WHERE R.x = S.x AND R.y > 5",
+            tiny_db.schema,
+        )
+        from repro.relational import evaluate_query
+
+        result = evaluate_query(canonical.root, tiny_db.instance())
+        values = result.result_values()
+        # R rows with y>5 joining S on x='a': (10,'p') and (30,'p')
+        assert sorted(v["R.y"] for v in values) == [10, 30]
+
+    def test_canonical_spj_pushes_selection_to_leaf(self, tiny_db):
+        canonical = sql_to_canonical(
+            "SELECT R.y FROM R, S WHERE R.x = S.x AND S.z = 'p'",
+            tiny_db.schema,
+        )
+        rendered = canonical.pretty()
+        # the selection sits below the join, just above the S leaf
+        select_line = next(
+            line for line in rendered.splitlines() if "sigma" in line
+        )
+        join_line = next(
+            line for line in rendered.splitlines() if "join" in line
+        )
+        assert rendered.index(join_line) < rendered.index(select_line)
+
+
+class TestExplicitJoinSyntax:
+    def test_inner_join_on(self, schema):
+        spec = sql_to_spec(
+            "SELECT R.y FROM R INNER JOIN S ON R.x = S.x",
+            schema,
+        )
+        assert len(spec.joins) == 1
+        assert spec.joins[0].left == "R.x"
+
+    def test_bare_join(self, schema):
+        spec = sql_to_spec(
+            "SELECT R.y FROM R JOIN S ON R.x = S.x AND S.z = 'p'",
+            schema,
+        )
+        assert len(spec.joins) == 1
+        assert len(spec.selections) == 1
+
+    def test_join_with_aliases(self, schema):
+        spec = sql_to_spec(
+            "SELECT a.y FROM R a JOIN R b ON a.x = b.x",
+            schema,
+        )
+        assert spec.aliases == {"a": "R", "b": "R"}
+
+    def test_join_then_where(self, schema):
+        spec = sql_to_spec(
+            "SELECT R.y FROM R JOIN S ON R.x = S.x WHERE R.y > 5",
+            schema,
+        )
+        assert len(spec.joins) == 1
+        assert len(spec.selections) == 1
+
+    def test_chained_joins(self, tiny_db):
+        tiny_db2 = tiny_db  # reuse schema; chain S twice via aliases
+        spec = sql_to_spec(
+            "SELECT a.y FROM R a JOIN S b ON a.x = b.x "
+            "JOIN S c ON b.z = c.z",
+            tiny_db2.schema,
+        )
+        assert len(spec.joins) == 2
+
+    def test_missing_on_rejected(self, schema):
+        with pytest.raises(SqlSyntaxError):
+            sql_to_spec("SELECT R.y FROM R JOIN S", schema)
+
+    def test_join_query_runs_end_to_end(self, tiny_db):
+        canonical = sql_to_canonical(
+            "SELECT R.y, S.z FROM R JOIN S ON R.x = S.x",
+            tiny_db.schema,
+        )
+        from repro.relational import evaluate_query
+
+        result = evaluate_query(canonical.root, tiny_db.instance())
+        assert sorted(v["R.y"] for v in result.result_values()) == [10, 30]

@@ -1,0 +1,194 @@
+"""Unit tests for the tuple data model (Sec. 2.1)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import (
+    Tuple,
+    alias_of,
+    base_tuple,
+    is_qualified,
+    qualify,
+    split_qualified,
+    unqualified_name,
+)
+
+
+# ---------------------------------------------------------------------------
+# Attribute name helpers
+# ---------------------------------------------------------------------------
+class TestAttributeNames:
+    def test_qualify(self):
+        assert qualify("A", "name") == "A.name"
+
+    def test_is_qualified(self):
+        assert is_qualified("A.name")
+        assert not is_qualified("name")
+
+    def test_split_qualified(self):
+        assert split_qualified("A.name") == ("A", "name")
+
+    def test_split_unqualified_raises(self):
+        with pytest.raises(SchemaError):
+            split_qualified("name")
+
+    def test_split_empty_parts_raise(self):
+        with pytest.raises(SchemaError):
+            split_qualified(".name")
+        with pytest.raises(SchemaError):
+            split_qualified("A.")
+
+    def test_alias_of(self):
+        assert alias_of("A.name") == "A"
+        assert alias_of("ap") is None
+
+    def test_unqualified_name(self):
+        assert unqualified_name("A.name") == "name"
+        assert unqualified_name("ap") == "ap"
+
+
+# ---------------------------------------------------------------------------
+# Tuple construction and access
+# ---------------------------------------------------------------------------
+class TestTupleBasics:
+    def test_base_tuple_constructor(self):
+        t = base_tuple("A", "t4", name="Homer", dob=-800)
+        assert t["A.name"] == "Homer"
+        assert t.tid == "t4"
+        assert t.lineage == frozenset({"t4"})
+
+    def test_empty_tuple_rejected(self):
+        with pytest.raises(SchemaError):
+            Tuple({})
+
+    def test_type(self):
+        t = base_tuple("A", "t1", name="x", dob=1)
+        assert t.type == frozenset({"A.name", "A.dob"})
+
+    def test_getitem_missing_raises(self):
+        t = base_tuple("A", "t1", name="x")
+        with pytest.raises(SchemaError):
+            t["A.dob"]
+
+    def test_get_default(self):
+        t = base_tuple("A", "t1", name="x")
+        assert t.get("A.dob", 7) == 7
+
+    def test_contains_and_iter(self):
+        t = base_tuple("A", "t1", name="x", dob=1)
+        assert "A.name" in t
+        assert sorted(t) == ["A.dob", "A.name"]
+        assert len(t) == 2
+
+    def test_is_base(self):
+        t = base_tuple("A", "t1", name="x")
+        assert t.is_base()
+        assert not t.project(["A.name"]).is_base()
+
+    def test_values_copy_is_detached(self):
+        t = base_tuple("A", "t1", name="x")
+        view = t.values
+        view["A.name"] = "hacked"
+        assert t["A.name"] == "x"
+
+
+# ---------------------------------------------------------------------------
+# Equality, hashing, lineage
+# ---------------------------------------------------------------------------
+class TestTupleIdentity:
+    def test_equal_values_and_lineage(self):
+        t1 = Tuple({"A.x": 1}, lineage={"a"})
+        t2 = Tuple({"A.x": 1}, lineage={"a"})
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+
+    def test_same_values_different_lineage_not_equal(self):
+        t1 = Tuple({"A.x": 1}, lineage={"a"})
+        t2 = Tuple({"A.x": 1}, lineage={"b"})
+        assert t1 != t2
+
+    def test_parents_do_not_affect_equality(self):
+        base = base_tuple("A", "t1", x=1)
+        t1 = Tuple({"A.x": 1}, lineage={"t1"}, parents=(base,))
+        t2 = Tuple({"A.x": 1}, lineage={"t1"})
+        assert t1 == t2
+
+    def test_derived_lineage_defaults_to_parent_union(self):
+        left = base_tuple("A", "a1", x=1)
+        right = base_tuple("B", "b1", y=2)
+        merged = left.merge(right)
+        assert merged.lineage == frozenset({"a1", "b1"})
+
+    def test_explicit_lineage_wins(self):
+        t = Tuple({"A.x": 1}, lineage={"z"})
+        assert t.lineage == frozenset({"z"})
+
+    def test_no_tid_no_parents_no_lineage(self):
+        t = Tuple({"A.x": 1})
+        assert t.lineage == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Derivations
+# ---------------------------------------------------------------------------
+class TestDerivations:
+    def test_project_keeps_lineage_and_parent(self):
+        t = base_tuple("A", "t1", name="x", dob=1)
+        p = t.project(["A.name"])
+        assert p.type == frozenset({"A.name"})
+        assert p.lineage == t.lineage
+        assert p.parents == (t,)
+
+    def test_project_missing_attr_raises(self):
+        t = base_tuple("A", "t1", name="x")
+        with pytest.raises(SchemaError):
+            t.project(["A.dob"])
+
+    def test_merge_disjoint(self):
+        a = base_tuple("A", "a1", x=1)
+        b = base_tuple("B", "b1", y=2)
+        m = a.merge(b)
+        assert m["A.x"] == 1
+        assert m["B.y"] == 2
+        assert set(m.parents) == {a, b}
+
+    def test_merge_overlapping_raises(self):
+        a = base_tuple("A", "a1", x=1)
+        b = base_tuple("A", "a2", x=2)
+        with pytest.raises(SchemaError):
+            a.merge(b)
+
+    def test_rename_attributes(self):
+        t = base_tuple("A", "t1", aid=1, name="x")
+        renamed = t.rename_attributes({"A.aid": "aid"})
+        assert renamed["aid"] == 1
+        assert renamed["A.name"] == "x"
+        assert renamed.parents == (t,)
+
+    def test_rename_collapse_raises(self):
+        t = base_tuple("A", "t1", x=1, y=2)
+        with pytest.raises(SchemaError):
+            t.rename_attributes({"A.x": "v", "A.y": "v"})
+
+    def test_with_parents(self):
+        t = base_tuple("A", "t1", x=1)
+        other = base_tuple("A", "t2", x=1)
+        clone = t.with_parents((other,))
+        assert clone.parents == (other,)
+        assert clone == t  # equality ignores parents
+
+
+# ---------------------------------------------------------------------------
+# Provenance rendering
+# ---------------------------------------------------------------------------
+class TestHowProvenance:
+    def test_base_tuple_renders_tid(self):
+        assert base_tuple("A", "t4", x=1).how_provenance() == "t4"
+
+    def test_derived_renders_sorted_lineage(self):
+        a = base_tuple("A", "t4", x=1)
+        b = base_tuple("B", "t2", y=1)
+        assert a.merge(b).how_provenance() == "t2*t4"
+
+    def test_repr_mentions_tid(self):
+        assert "t4" in repr(base_tuple("A", "t4", x=1))

@@ -1,0 +1,197 @@
+"""Unit tests for unrenaming (Def. 2.7) and compatibility (Def. 2.8)."""
+
+import pytest
+
+from repro.core import (
+    CTuple,
+    Predicate,
+    find_compatibles,
+    tuple_matches_ctuple,
+    unrename_ctuple,
+    unrename_predicate,
+)
+from repro.core.compatibility import CompatibleFinder
+from repro.relational import Var, base_tuple, var_cmp
+from repro.workloads import get_canonical, get_database
+
+
+# ---------------------------------------------------------------------------
+# Unrenaming
+# ---------------------------------------------------------------------------
+class TestUnrename:
+    def test_untouched_attributes_pass_through(self, running_example):
+        _db, canonical = running_example
+        tc = CTuple({"A.name": "Homer"})
+        (result,) = unrename_ctuple(canonical.root, tc)
+        assert result == tc
+
+    def test_aggregated_attribute_passes_through(self, running_example):
+        _db, canonical = running_example
+        tc = CTuple({"ap": Var("x")}, var_cmp("x", ">", 25))
+        (result,) = unrename_ctuple(canonical.root, tc)
+        assert result.type == frozenset({"ap"})
+
+    def test_join_attribute_expands_to_both_origins(self, running_example):
+        """Ex. 2.2: a renamed attribute unrenames to *both* origins."""
+        _db, canonical = running_example
+        tc = CTuple({"A.name": "Homer", "aid": "a1"})
+        (result,) = unrename_ctuple(canonical.root, tc)
+        assert result.type == frozenset(
+            {"A.name", "A.aid", "AB.aid"}
+        )
+        assert result.constants()["A.aid"] == "a1"
+        assert result.constants()["AB.aid"] == "a1"
+
+    def test_union_splits_into_disjunction(self):
+        canonical = get_canonical("Q12")
+        tc = CTuple({"name": "JOHN"})
+        parts = unrename_ctuple(canonical.root, tc)
+        types = {frozenset(p.type) for p in parts}
+        assert types == {
+            frozenset({"Co.lastname"}),
+            frozenset({"SPO.sponsorln"}),
+        }
+
+    def test_predicate_unrenames_each_disjunct(self, running_example):
+        _db, canonical = running_example
+        predicate = Predicate.of(
+            CTuple({"A.name": "Homer"}), CTuple({"A.name": "Euripides"})
+        )
+        parts = unrename_predicate(canonical.root, predicate)
+        assert len(parts) == 2
+
+    def test_chained_renamed_attribute(self):
+        """Gov4's sponsorId unrenames through the ES-SPO join."""
+        canonical = get_canonical("Q7")
+        tc = CTuple({"sponsorId": 467})
+        (result,) = unrename_ctuple(canonical.root, tc)
+        assert result.constants() == {
+            "ES.sponsor": 467,
+            "SPO.id": 467,
+        }
+
+    def test_deduplicates_identical_branches(self, running_example):
+        _db, canonical = running_example
+        predicate = Predicate.of(
+            CTuple({"A.name": "Homer"}), CTuple({"A.name": "Homer"})
+        )
+        assert len(unrename_predicate(canonical.root, predicate)) == 1
+
+
+# ---------------------------------------------------------------------------
+# Compatibility of single tuples (Def. 2.8)
+# ---------------------------------------------------------------------------
+class TestTupleMatchesCTuple:
+    def test_constant_match(self):
+        t = base_tuple("A", "t4", name="Homer", dob=-800)
+        assert tuple_matches_ctuple(t, CTuple({"A.name": "Homer"}))
+        assert not tuple_matches_ctuple(t, CTuple({"A.name": "Zeus"}))
+
+    def test_requires_shared_attributes(self):
+        t = base_tuple("B", "t1", title="Odyssey")
+        assert not tuple_matches_ctuple(t, CTuple({"A.name": "Homer"}))
+
+    def test_variable_binding_checked_against_condition(self):
+        t = base_tuple("A", "t1", dob=-800)
+        tc = CTuple({"A.dob": Var("x")}, var_cmp("x", ">", -500))
+        assert not tuple_matches_ctuple(t, tc)
+        t2 = base_tuple("A", "t2", dob=-400)
+        assert tuple_matches_ctuple(t2, tc)
+
+    def test_same_variable_in_two_attributes_must_agree(self):
+        tc = CTuple({"A.x": Var("v"), "A.y": Var("v")})
+        assert tuple_matches_ctuple(
+            base_tuple("A", "t1", x=1, y=1), tc
+        )
+        assert not tuple_matches_ctuple(
+            base_tuple("A", "t2", x=1, y=2), tc
+        )
+
+    def test_free_variables_stay_satisfiable(self):
+        """Ex. 2.3: t4 is compatible with ((Homer, x1), x1 > 25)."""
+        t4 = base_tuple("A", "t4", name="Homer", dob=-800)
+        tc = CTuple(
+            {"A.name": "Homer", "ap": Var("x1")}, var_cmp("x1", ">", 25)
+        )
+        assert tuple_matches_ctuple(t4, tc)
+
+
+# ---------------------------------------------------------------------------
+# Dir / InDir computation
+# ---------------------------------------------------------------------------
+class TestCompatibleFinder:
+    def test_running_example_dir_and_indir(self, running_example):
+        """Ex. 2.3 / 2.4: Dir = {t4}, InDir = I_AB u I_B."""
+        db, canonical = running_example
+        instance = db.input_instance(canonical.aliases)
+        tc = CTuple(
+            {"A.name": "Homer", "ap": Var("x1")}, var_cmp("x1", ">", 25)
+        )
+        sets = find_compatibles(tc, instance)
+        assert sets.dir_tids == frozenset({"A:a1"})
+        assert sets.direct_aliases == frozenset({"A"})
+        assert sets.indirect_aliases == frozenset({"AB", "B"})
+        assert len(sets.indir_tids) == 6
+        assert sets.valid_tids == sets.dir_tids | sets.indir_tids
+        assert not sets.is_empty
+
+    def test_co_occurrence_required_per_relation(self, running_example):
+        """Pairs referencing one relation must co-occur in one tuple
+        (Sec. 3.1): Homer with Sophocles' dob matches nothing."""
+        db, canonical = running_example
+        instance = db.input_instance(canonical.aliases)
+        tc = CTuple({"A.name": "Homer", "A.dob": -400})
+        sets = find_compatibles(tc, instance)
+        assert sets.is_empty
+
+    def test_multi_relation_direct_sets(self, running_example):
+        db, canonical = running_example
+        instance = db.input_instance(canonical.aliases)
+        tc = CTuple({"A.name": "Homer", "B.price": 49})
+        sets = find_compatibles(tc, instance)
+        assert sets.dir_tids == frozenset({"A:a1", "B:b3"})
+        assert sets.direct_aliases == frozenset({"A", "B"})
+        # non-compatible tuples of direct relations are NOT valid
+        assert "B:b1" not in sets.valid_tids
+        assert "A:a2" not in sets.valid_tids
+
+    def test_constrained_alias_without_hits(self, running_example):
+        db, canonical = running_example
+        instance = db.input_instance(canonical.aliases)
+        sets = find_compatibles(CTuple({"A.name": "Zeus"}), instance)
+        assert sets.is_empty
+        assert sets.constrained_aliases == frozenset({"A"})
+        # by the letter of Def. 2.8, A then types no Dir tuple, so all
+        # of A lands in InDir
+        assert sets.indirect_aliases == frozenset({"A", "AB", "B"})
+
+    def test_database_fast_path_equals_scan(self):
+        db = get_database("crime")
+        canonical = get_canonical("Q1")
+        instance = db.input_instance(canonical.aliases)
+        tc = CTuple({"Person.name": "Hank", "Crime.type": "Car theft"})
+        scanned = CompatibleFinder(instance).find(tc)
+        indexed = CompatibleFinder(
+            instance, db, canonical.aliases
+        ).find(tc)
+        assert scanned.dir_tids == indexed.dir_tids
+        assert scanned.indirect_aliases == indexed.indirect_aliases
+
+    def test_fast_path_self_join_aliases(self):
+        db = get_database("crime")
+        canonical = get_canonical("Q3")
+        instance = db.input_instance(canonical.aliases)
+        tc = CTuple({"C2.type": "Kidnapping"})
+        sets = CompatibleFinder(instance, db, canonical.aliases).find(tc)
+        # compatibles live only in the C2 alias, with C2-tagged tids
+        assert sets.direct_aliases == frozenset({"C2"})
+        assert all(tid.startswith("C2:") for tid in sets.dir_tids)
+        assert len(sets.dir_tids) == 3
+
+    def test_direct_tuples_ordering(self, running_example):
+        db, canonical = running_example
+        instance = db.input_instance(canonical.aliases)
+        tc = CTuple({"A.name": "Homer", "B.price": 49})
+        sets = find_compatibles(tc, instance)
+        tids = [t.tid for t in sets.direct_tuples()]
+        assert tids == ["A:a1", "B:b3"]

@@ -1,0 +1,208 @@
+"""Unit tests for Why-Not questions (Defs. 2.4-2.6) and their parser."""
+
+import pytest
+
+from repro.errors import WhyNotQuestionError
+from repro.core import CTuple, Predicate, parse_predicate, why_not
+from repro.core.whynot_question import ctuple_with_condition
+from repro.relational import And, TrueCondition, Var, attr_cmp, var_cmp
+
+
+# ---------------------------------------------------------------------------
+# CTuple construction
+# ---------------------------------------------------------------------------
+class TestCTuple:
+    def test_basic_entries(self):
+        tc = CTuple({"A.name": "Homer", "ap": Var("x")})
+        assert tc.type == frozenset({"A.name", "ap"})
+        assert tc.constants() == {"A.name": "Homer"}
+        assert tc.variable_entries() == {"ap": "x"}
+        assert tc.variables() == frozenset({"x"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(WhyNotQuestionError):
+            CTuple({})
+
+    def test_default_condition_is_true(self):
+        tc = CTuple({"A.name": "Homer"})
+        assert isinstance(tc.condition, TrueCondition)
+
+    def test_condition_over_unknown_variable_rejected(self):
+        with pytest.raises(WhyNotQuestionError):
+            CTuple({"A.name": "Homer"}, var_cmp("x", ">", 25))
+
+    def test_condition_with_attributes_rejected(self):
+        with pytest.raises(WhyNotQuestionError):
+            CTuple({"A.name": Var("x")}, attr_cmp("A.name", "=", "y"))
+
+    def test_entry_access(self):
+        tc = CTuple({"A.name": "Homer"})
+        assert tc.entry("A.name") == "Homer"
+        assert "A.name" in tc
+        with pytest.raises(WhyNotQuestionError):
+            tc.entry("A.dob")
+
+    def test_equality_and_hash(self):
+        tc1 = CTuple({"A.x": 1}, TrueCondition())
+        tc2 = CTuple({"A.x": 1})
+        assert tc1 == tc2
+        assert len({tc1, tc2}) == 1
+
+
+class TestCTupleDerivations:
+    def test_rename_attributes(self):
+        tc = CTuple({"aid": "a1", "A.name": "Homer"})
+        renamed = tc.rename_attributes({"aid": "A.aid"})
+        assert renamed.type == frozenset({"A.aid", "A.name"})
+
+    def test_rename_conflicting_collapse_rejected(self):
+        tc = CTuple({"x": 1, "y": 2})
+        with pytest.raises(WhyNotQuestionError):
+            tc.rename_attributes({"x": "v", "y": "v"})
+
+    def test_rename_consistent_collapse_allowed(self):
+        tc = CTuple({"x": 1, "y": 1})
+        renamed = tc.rename_attributes({"x": "v", "y": "v"})
+        assert renamed.type == frozenset({"v"})
+
+    def test_merge_disjoint(self):
+        left = CTuple({"A.aid": "a1"}, )
+        right = CTuple({"AB.aid": "a1"})
+        merged = left.merged_with(right)
+        assert merged is not None
+        assert merged.type == frozenset({"A.aid", "AB.aid"})
+
+    def test_merge_consistent_overlap(self):
+        left = CTuple({"A.name": "Homer", "ap": Var("x")})
+        right = CTuple({"A.name": "Homer"})
+        merged = left.merged_with(right)
+        assert merged is not None
+
+    def test_merge_conflicting_overlap_returns_none(self):
+        left = CTuple({"A.name": "Homer"})
+        right = CTuple({"A.name": "Sophocles"})
+        assert left.merged_with(right) is None
+
+    def test_merge_deduplicates_conjuncts(self):
+        cond = var_cmp("x", ">", 25)
+        left = CTuple({"ap": Var("x")}, cond)
+        right = CTuple({"ap": Var("x")}, cond)
+        merged = left.merged_with(right)
+        assert merged is not None
+        assert merged.condition == cond
+
+    def test_restricted_to(self):
+        tc = CTuple(
+            {"A.name": "Homer", "ap": Var("x")}, var_cmp("x", ">", 25)
+        )
+        only_name = tc.restricted_to({"A.name"})
+        assert only_name is not None
+        assert only_name.type == frozenset({"A.name"})
+        # the condition on the dropped variable is gone
+        assert isinstance(only_name.condition, TrueCondition)
+
+    def test_restricted_to_nothing_returns_none(self):
+        tc = CTuple({"A.name": "Homer"})
+        assert tc.restricted_to({"B.title"}) is None
+
+
+# ---------------------------------------------------------------------------
+# Predicate
+# ---------------------------------------------------------------------------
+class TestPredicate:
+    def test_disjunction(self):
+        p = Predicate.of(CTuple({"A.x": 1}), CTuple({"A.x": 2}))
+        assert len(p) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(WhyNotQuestionError):
+            Predicate([])
+
+    def test_validate_against(self, running_example):
+        _db, canonical = running_example
+        good = Predicate.of(CTuple({"A.name": "Homer"}))
+        good.validate_against(canonical.root)
+        bad = Predicate.of(CTuple({"B.title": "Odyssey"}))
+        with pytest.raises(WhyNotQuestionError):
+            bad.validate_against(canonical.root)
+
+    def test_why_not_helper(self):
+        p = why_not(P__name="Hank", C__type="Car theft")
+        (tc,) = p.ctuples
+        assert tc.type == frozenset({"P.name", "C.type"})
+
+
+# ---------------------------------------------------------------------------
+# Textual predicate parser
+# ---------------------------------------------------------------------------
+class TestParsePredicate:
+    def test_simple_constants(self):
+        p = parse_predicate("(P.name: Hank, C.type: 'Car theft')")
+        (tc,) = p.ctuples
+        assert tc.constants() == {
+            "P.name": "Hank",
+            "C.type": "Car theft",
+        }
+
+    def test_numeric_values(self):
+        p = parse_predicate("(sponsorId: 467, w: 1.5)")
+        (tc,) = p.ctuples
+        assert tc.constants() == {"sponsorId": 467, "w": 1.5}
+
+    def test_variable_with_condition(self):
+        p = parse_predicate("((A.name: Homer, ap: $x1), $x1 > 25)")
+        (tc,) = p.ctuples
+        assert tc.variable_entries() == {"ap": "x1"}
+        assert tc.condition == var_cmp("x1", ">", 25)
+
+    def test_conjunction_of_conditions(self):
+        p = parse_predicate(
+            "((A.name: $x), $x != Homer and $x != Sophocles)"
+        )
+        (tc,) = p.ctuples
+        assert tc.condition == And.of(
+            var_cmp("x", "!=", "Homer"), var_cmp("x", "!=", "Sophocles")
+        )
+
+    def test_disjunction(self):
+        p = parse_predicate("(name: Avatar) | (name: 'Up')")
+        assert len(p) == 2
+
+    def test_paper_example_2_1(self):
+        text = (
+            "((A.name: Homer, ap: $x1), $x1 > 25)"
+            " | ((A.name: $x2), $x2 != Homer and $x2 != Sophocles)"
+        )
+        p = parse_predicate(text)
+        assert len(p) == 2
+        assert p.ctuples[0].constants() == {"A.name": "Homer"}
+
+    def test_var_var_condition(self):
+        p = parse_predicate("((a: $x, b: $y), $x < $y)")
+        (tc,) = p.ctuples
+        assert tc.condition.variables() == frozenset({"x", "y"})
+
+    def test_pipe_inside_quotes_not_split(self):
+        p = parse_predicate("(name: 'a|b')")
+        (tc,) = p.ctuples
+        assert tc.constants() == {"name": "a|b"}
+
+    def test_missing_parens_rejected(self):
+        with pytest.raises(WhyNotQuestionError):
+            parse_predicate("name: Hank")
+
+    def test_missing_colon_rejected(self):
+        with pytest.raises(WhyNotQuestionError):
+            parse_predicate("(name Hank)")
+
+    def test_condition_must_start_with_variable(self):
+        with pytest.raises(WhyNotQuestionError):
+            parse_predicate("((a: $x), 25 > 3)")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(WhyNotQuestionError):
+            parse_predicate("((a: $x, $x > 3")
+
+    def test_ctuple_with_condition_helper(self):
+        tc = ctuple_with_condition({"ap": Var("x")}, x=(">", 25))
+        assert tc.condition == var_cmp("x", ">", 25)
