@@ -50,13 +50,17 @@ from .core.repairs import suggest_repairs, verify_repair
 from .errors import ReproError
 from .relational import (
     AggregateCall,
+    CacheStats,
     Database,
     DatabaseInstance,
+    EvaluationCache,
     Renaming,
     Tuple,
     attr_attr_cmp,
     attr_cmp,
     evaluate_query,
+    get_default_cache,
+    query_fingerprint,
 )
 from .relational.csv_io import load_database, save_database
 from .relational.sql import sql_to_canonical
@@ -78,14 +82,40 @@ def explain_sql(
     return engine.explain(why_not_question)
 
 
+def explain_batch(
+    database: Database,
+    sql: str,
+    why_not_questions,
+    config: NedExplainConfig | None = None,
+    cache: EvaluationCache | None = None,
+) -> tuple[NedExplainReport, ...]:
+    """Answer many why-not questions over one SQL query, batched.
+
+    The query is evaluated once (through *cache*, defaulting to the
+    process-wide shared cache); each question only recomputes its own
+    compatible sets and TabQ columns.  Returns one report per question,
+    in order.
+
+    >>> reports = explain_batch(db, "SELECT ...",
+    ...                         ["(A.name: Homer)", "(A.name: Vergil)"])
+    """
+    canonical = sql_to_canonical(sql, database.schema)
+    engine = NedExplain(
+        canonical, database=database, config=config, cache=cache
+    )
+    return engine.explain_many(why_not_questions)
+
+
 __version__ = "1.0.0"
 
 __all__ = [
     "AggregateCall",
+    "CacheStats",
     "CanonicalQuery",
     "CTuple",
     "Database",
     "DatabaseInstance",
+    "EvaluationCache",
     "JoinPair",
     "NedExplain",
     "NedExplainConfig",
@@ -104,10 +134,13 @@ __all__ = [
     "canonicalize",
     "core",
     "evaluate_query",
+    "explain_batch",
     "explain_sql",
+    "get_default_cache",
     "load_database",
     "nedexplain",
     "parse_predicate",
+    "query_fingerprint",
     "relational",
     "save_database",
     "sql_to_canonical",

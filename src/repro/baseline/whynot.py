@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from ..errors import UnsupportedQueryError
 from ..relational.algebra import Aggregate, Difference, Query
 from ..relational.database import Database
+from ..relational.evalcache import EvaluationCache, get_default_cache
 from ..relational.evaluator import EvaluationResult, evaluate
 from ..relational.instance import DatabaseInstance
 from ..core.canonical import CanonicalQuery
@@ -91,6 +92,8 @@ class WhyNotBaseline:
         database: Database | None = None,
         instance: DatabaseInstance | None = None,
         strategy: str = "bottom-up",
+        cache: EvaluationCache | None = None,
+        use_cache: bool = True,
     ):
         if (database is None) == (instance is None):
             raise UnsupportedQueryError(
@@ -108,6 +111,11 @@ class WhyNotBaseline:
         else:
             assert instance is not None
             self.instance = instance
+        #: evaluation cache shared with NedExplain (None = evaluate
+        #: from scratch on every explain call, the pre-cache behaviour)
+        self.cache: EvaluationCache | None = None
+        if use_cache:
+            self.cache = cache if cache is not None else get_default_cache()
         self._check_supported()
 
     def _check_supported(self) -> None:
@@ -142,9 +150,15 @@ class WhyNotBaseline:
 
         started = time.perf_counter()
         # The original implementation evaluates the workflow through
-        # Trio and then looks lineage up per item; we evaluate once and
-        # trace each item independently over the intermediate results.
-        result = evaluate(self.canonical.root, self.instance)
+        # Trio and then looks lineage up per item; we evaluate once
+        # (served from the shared cache when enabled) and trace each
+        # item independently over the intermediate results.
+        if self.cache is not None:
+            result = self.cache.get_or_evaluate(
+                self.canonical.root, self.instance, self.canonical.aliases
+            )
+        else:
+            result = evaluate(self.canonical.root, self.instance)
         tracer = (
             trace_item if self.strategy == "bottom-up"
             else trace_item_top_down

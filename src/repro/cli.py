@@ -55,7 +55,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--why-not",
         required=True,
         dest="why_not",
-        help="predicate, e.g. \"(A.name: Homer)\"",
+        action="append",
+        help="predicate, e.g. \"(A.name: Homer)\"; repeatable -- "
+        "several questions against one query evaluation",
+    )
+    explain.add_argument(
+        "--batch",
+        action="store_true",
+        help="answer all --why-not questions through explain_many "
+        "(one shared query evaluation) and report cache statistics",
     )
     explain.add_argument(
         "--baseline",
@@ -112,8 +120,12 @@ def _run_explain(args) -> int:
             print("  ", row)
         print()
 
+    questions = list(args.why_not)
+    if args.batch or len(questions) > 1:
+        return _run_explain_batch(args, database, canonical, questions)
+
     engine = NedExplain(canonical, database=database)
-    report = engine.explain(args.why_not)
+    report = engine.explain(questions[0])
     print("NedExplain:")
     print(report.summary())
 
@@ -130,7 +142,39 @@ def _run_explain(args) -> int:
         try:
             baseline = WhyNotBaseline(canonical, database=database)
             print("Why-Not baseline:")
-            print(baseline.explain(args.why_not).summary())
+            print(baseline.explain(questions[0]).summary())
+        except UnsupportedQueryError as exc:
+            print(f"Why-Not baseline: n.a. ({exc})")
+    return 0
+
+
+def _run_explain_batch(args, database, canonical, questions) -> int:
+    """Batched mode: N questions, one shared query evaluation."""
+    from .relational import EvaluationCache
+
+    cache = EvaluationCache()
+    engine = NedExplain(canonical, database=database, cache=cache)
+    reports = engine.explain_many(questions)
+    for question, report in zip(questions, reports):
+        print(f"why-not {question}")
+        print(report.summary())
+        print()
+    stats = cache.stats
+    print(
+        f"batch: {len(questions)} question(s), "
+        f"{stats.evaluations} full query evaluation(s), "
+        f"{stats.hits} cache hit(s)"
+    )
+    if args.baseline:
+        print()
+        try:
+            baseline = WhyNotBaseline(
+                canonical, database=database, cache=cache
+            )
+            print("Why-Not baseline:")
+            for question in questions:
+                print(f"why-not {question}")
+                print(baseline.explain(question).summary())
         except UnsupportedQueryError as exc:
             print(f"Why-Not baseline: n.a. ({exc})")
     return 0

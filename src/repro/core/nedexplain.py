@@ -25,11 +25,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Iterable, Mapping, Sequence
 
 from ..errors import WhyNotQuestionError
 from ..relational.algebra import Aggregate, Query
 from ..relational.database import Database
+from ..relational.evalcache import EvaluationCache, get_default_cache
+from ..relational.evaluator import EvaluationResult
 from ..relational.instance import DatabaseInstance
 from ..relational.tuples import Tuple
 from .answers import DetailedEntry, NedExplainReport, WhyNotAnswer
@@ -55,11 +57,16 @@ class NedExplainConfig:
     ``early_termination`` toggles Alg. 2 (ablation A3 of DESIGN.md);
     ``compute_secondary`` toggles Def. 2.14; ``check_answer_presence``
     reports when the "missing" answer is in fact present in the result.
+    ``use_shared_evaluation`` routes the bottom-up pass through one
+    shared (cached) query evaluation instead of re-applying every
+    manipulation per c-tuple; disabling it restores the paper's
+    literal per-question loop (the oracle of the differential tests).
     """
 
     early_termination: bool = True
     compute_secondary: bool = True
     check_answer_presence: bool = True
+    use_shared_evaluation: bool = True
 
 
 class NedExplain:
@@ -75,6 +82,11 @@ class NedExplain:
         mapping; CompatibleFinder uses the database's indexes.
     instance:
         Alternatively, a ready-made query input instance.
+    cache:
+        The :class:`~repro.relational.evalcache.EvaluationCache` the
+        shared bottom-up evaluation is served from; defaults to the
+        process-wide cache.  Only consulted when
+        ``config.use_shared_evaluation`` is on.
     """
 
     def __init__(
@@ -83,6 +95,7 @@ class NedExplain:
         database: Database | None = None,
         instance: DatabaseInstance | None = None,
         config: NedExplainConfig | None = None,
+        cache: EvaluationCache | None = None,
     ):
         if (database is None) == (instance is None):
             raise WhyNotQuestionError(
@@ -98,6 +111,9 @@ class NedExplain:
         self.finder = CompatibleFinder(
             self.instance, database, canonical.aliases
         )
+        self.cache = cache if cache is not None else get_default_cache()
+        #: the shared evaluation the current explain() call reads from
+        self._shared: EvaluationResult | None = None
         self._phases: dict[str, float] = {}
         #: TabQ of each processed c-tuple from the last explain() call
         self.last_tabqs: list[TabQ] = []
@@ -113,6 +129,18 @@ class NedExplain:
         predicate.validate_against(self.canonical.root)
         self._phases = {phase: 0.0 for phase in PHASES}
         self.last_tabqs = []
+
+        self._shared = None
+        if self.config.use_shared_evaluation:
+            started = time.perf_counter()
+            self._shared = self.cache.get_or_evaluate(
+                self.canonical.root, self.instance, self.canonical.aliases
+            )
+            # evaluation cost used to live in the per-entry bottom-up
+            # pass; keep it in the same Fig. 5 phase for comparability
+            self._phases["BottomUp"] += (
+                time.perf_counter() - started
+            ) * 1000.0
 
         started = time.perf_counter()
         pairs: list[tuple[CTuple, CTuple]] = []
@@ -140,6 +168,22 @@ class NedExplain:
             if tabq is not None:
                 self.last_tabqs.append(tabq)
         return NedExplainReport(tuple(answers), dict(self._phases))
+
+    def explain_many(
+        self, predicates: Iterable[Predicate | CTuple | str]
+    ) -> tuple[NedExplainReport, ...]:
+        """Answer many Why-Not questions against one shared evaluation.
+
+        The query tree is evaluated (at most) once -- through the
+        engine's :class:`~repro.relational.evalcache.EvaluationCache`
+        -- and every question recomputes only its own compatible sets,
+        successor traces, and TabQ columns.  Reports are returned in
+        question order and are observationally identical to ``N``
+        independent :meth:`explain` calls (the differential test suite
+        asserts this over all Table-4 use cases and hundreds of
+        randomized workloads).
+        """
+        return tuple(self.explain(predicate) for predicate in predicates)
 
     def _coerce(self, predicate: Predicate | CTuple | str) -> Predicate:
         if isinstance(predicate, str):
@@ -210,15 +254,22 @@ class NedExplain:
     ) -> None:
         started = time.perf_counter()
         node = entry.node
-        if entry.is_leaf:
-            inputs = [entry.input]
+        if self._shared is not None:
+            # shared-evaluation path: per-node inputs/outputs come from
+            # the one cached evaluation (identical, by construction, to
+            # what re-applying every manipulation would produce)
+            if not entry.is_leaf:
+                entry.input = list(self._shared.flat_input(node))
+            entry.output = list(self._shared.output(node))
+        elif entry.is_leaf:
+            entry.output = node.apply([entry.input])
         else:
             inputs = [
                 list(tabq.entry(child).output or [])
                 for child in node.children
             ]
             entry.input = [t for part in inputs for t in part]
-        entry.output = node.apply(inputs)
+            entry.output = node.apply(inputs)
         parent = entry.parent
         if not entry.output:
             tabq.mark_empty(entry)

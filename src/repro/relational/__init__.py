@@ -40,7 +40,13 @@ from .conditions import (
     var_cmp,
     var_var_cmp,
 )
+from .algebra import condition_tokens, query_fingerprint, structure_tokens
 from .database import Database, Table
+from .evalcache import (
+    CacheStats,
+    EvaluationCache,
+    get_default_cache,
+)
 from .evaluator import (
     EvaluationResult,
     evaluate,
@@ -82,6 +88,7 @@ __all__ = [
     "Aggregate",
     "And",
     "Attr",
+    "CacheStats",
     "Comparison",
     "Condition",
     "Const",
@@ -89,6 +96,7 @@ __all__ = [
     "DatabaseInstance",
     "DatabaseSchema",
     "Difference",
+    "EvaluationCache",
     "EvaluationResult",
     "FalseCondition",
     "Join",
@@ -115,12 +123,14 @@ __all__ = [
     "base_lineage",
     "base_tuple",
     "compare_values",
+    "condition_tokens",
     "descends_from",
     "direct_lineage",
     "evaluate",
     "evaluate_query",
     "find_node",
     "format_output",
+    "get_default_cache",
     "how_provenance",
     "is_qualified",
     "is_satisfiable",
@@ -128,10 +138,12 @@ __all__ = [
     "lineage_within",
     "natural_renaming",
     "qualify",
+    "query_fingerprint",
     "query_input_instance",
     "resolve_aliases",
     "result_contains",
     "split_qualified",
+    "structure_tokens",
     "subtree_covering",
     "successors_in",
     "tabq_order",

@@ -22,12 +22,23 @@ fails fast instead of mis-evaluating.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..errors import QueryError, SchemaError
 from .aggregates import AggregateCall, check_distinct_aliases
-from .conditions import Condition, TrueCondition
+from .conditions import (
+    And,
+    Attr,
+    Comparison,
+    Condition,
+    Const,
+    FalseCondition,
+    Or,
+    TrueCondition,
+    Var,
+)
 from .renaming import Renaming
 from .schema import RelationSchema, check_disjoint
 from .tuples import Tuple, Value
@@ -646,6 +657,123 @@ def validate_tree(root: Query) -> None:
 def target_condition_attributes(condition: Condition) -> frozenset[str]:
     """Attributes a selection condition needs from its input."""
     return condition.attributes()
+
+
+# ---------------------------------------------------------------------------
+# Structural fingerprints (shared-evaluation cache keys)
+# ---------------------------------------------------------------------------
+def _term_tokens(term: Attr | Const | Var) -> tuple:
+    if isinstance(term, Attr):
+        return ("attr", term.name)
+    if isinstance(term, Const):
+        # repr distinguishes 5 / 5.0 / '5' so value domains never collide
+        return ("const", type(term.value).__name__, repr(term.value))
+    if isinstance(term, Var):
+        return ("var", term.name)
+    raise QueryError(f"cannot fingerprint condition term {term!r}")
+
+
+def condition_tokens(condition: Condition) -> tuple:
+    """Canonical token structure of a condition (fingerprint input)."""
+    if isinstance(condition, TrueCondition):
+        return ("true",)
+    if isinstance(condition, FalseCondition):
+        return ("false",)
+    if isinstance(condition, Comparison):
+        return (
+            "cmp",
+            _term_tokens(condition.left),
+            condition.op,
+            _term_tokens(condition.right),
+        )
+    if isinstance(condition, And):
+        return ("and",) + tuple(condition_tokens(p) for p in condition.parts)
+    if isinstance(condition, Or):
+        return ("or",) + tuple(condition_tokens(p) for p in condition.parts)
+    raise QueryError(f"cannot fingerprint condition {condition!r}")
+
+
+def _renaming_tokens(renaming: Renaming) -> tuple:
+    return tuple((t.left, t.right, t.new) for t in renaming.triples)
+
+
+def structure_tokens(node: Query) -> tuple:
+    """Recursive canonical token structure of a query tree.
+
+    Two trees produce equal tokens iff they are structurally equal:
+    same operators in the same positions with the same conditions,
+    attributes, renamings, aggregation calls, and leaf schemas.  Node
+    *labels* (``name``) are deliberately excluded -- they are display
+    metadata assigned during canonicalization, not query structure.
+    """
+    if isinstance(node, RelationLeaf):
+        return (
+            "relation",
+            node.alias,
+            tuple(node.schema.attributes),
+            node.schema.key,
+        )
+    if isinstance(node, Select):
+        return (
+            "sigma",
+            condition_tokens(node.condition),
+            structure_tokens(node.child),
+        )
+    if isinstance(node, Project):
+        return ("pi", node.attributes, structure_tokens(node.child))
+    if isinstance(node, Join):
+        return (
+            "join",
+            _renaming_tokens(node.renaming),
+            structure_tokens(node.left),
+            structure_tokens(node.right),
+        )
+    if isinstance(node, Aggregate):
+        return (
+            "alpha",
+            node.group_by,
+            tuple(
+                (c.function, c.attribute, c.alias) for c in node.calls
+            ),
+            structure_tokens(node.child),
+        )
+    if isinstance(node, Union):
+        return (
+            "union",
+            _renaming_tokens(node.renaming),
+            structure_tokens(node.left),
+            structure_tokens(node.right),
+        )
+    if isinstance(node, Difference):
+        return (
+            "difference",
+            _renaming_tokens(node.renaming),
+            structure_tokens(node.left),
+            structure_tokens(node.right),
+        )
+    raise QueryError(f"cannot fingerprint query node {node!r}")
+
+
+def query_fingerprint(
+    root: Query, aliases: Mapping[str, str] | None = None
+) -> str:
+    """Stable structural hash of ``(Q, eta_Q)``.
+
+    The fingerprint covers every operator, condition, projection,
+    renaming, and aggregation call of the tree plus the leaf schemas
+    and the alias mapping ``eta_Q``; any structural perturbation yields
+    a different digest.  Structurally equal trees -- even distinct
+    objects built from the same spec -- share one fingerprint, which is
+    what lets the evaluation cache serve many why-not questions from a
+    single evaluation.
+    """
+    payload = repr(
+        (
+            structure_tokens(root),
+            tuple(sorted((aliases or {}).items())),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def alias_mapping_of(root: Query) -> dict[str, RelationSchema]:

@@ -40,7 +40,13 @@ class _Index:
 
 
 class Table:
-    """One stored table: schema + rows + indexes."""
+    """One stored table: schema + rows + indexes.
+
+    Every mutation (``insert``, ``create_index``) bumps a monotonic
+    version counter so cached evaluation results derived from this
+    table can be invalidated; the owning :class:`Database` is notified
+    through ``_on_mutate``.
+    """
 
     def __init__(self, schema: RelationSchema):
         self.schema = schema
@@ -48,8 +54,20 @@ class Table:
         self._order: list[str] = []
         self._indexes: dict[str, _Index] = {}
         self._auto_id = itertools.count(1)
+        self._version = 0
+        self._on_mutate = None
         if schema.key is not None:
-            self.create_index(schema.key)
+            self._build_index(schema.key)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (bumped by insert/create_index)."""
+        return self._version
+
+    def _bump(self) -> None:
+        self._version += 1
+        if self._on_mutate is not None:
+            self._on_mutate()
 
     # ------------------------------------------------------------------
     # Mutation
@@ -91,10 +109,16 @@ class Table:
         self._order.append(tid)
         for index in self._indexes.values():
             index.add(row[qualify(self.schema.name, index.attribute)], tid)
+        self._bump()
         return row
 
     def create_index(self, attribute: str) -> None:
         """Create (or refresh) a hash index on *attribute*."""
+        self._build_index(attribute)
+        self._bump()
+
+    def _build_index(self, attribute: str) -> None:
+        """Build the index without bumping the version (lazy reads)."""
         if attribute not in self.schema.attributes:
             raise SchemaError(
                 f"table {self.schema.name!r} has no attribute "
@@ -127,7 +151,7 @@ class Table:
     def select_ids_eq(self, attribute: str, value: Value) -> list[str]:
         """Ids of rows with ``attribute = value`` (index-served)."""
         if attribute not in self._indexes:
-            self.create_index(attribute)
+            self._build_index(attribute)
         return list(self._indexes[attribute].lookup(value))
 
     def select_ids(
@@ -175,12 +199,38 @@ class Table:
         return [row for row in self.rows if condition.evaluate(row)]
 
 
+#: process-wide serial numbers for databases; unlike ``id()`` these are
+#: never reused after garbage collection, so they are safe cache keys
+_DB_SERIALS = itertools.count(1)
+
+
 class Database:
     """A named collection of tables with derived instance views."""
 
     def __init__(self, name: str = "db"):
         self.name = name
         self._tables: dict[str, Table] = {}
+        self._serial = next(_DB_SERIALS)
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter over all DDL/DML mutations."""
+        return self._version
+
+    @property
+    def data_key(self) -> tuple:
+        """Identity + version key for evaluation caching.
+
+        Built from a never-reused serial number and the mutation
+        counter: equal keys guarantee identical stored contents (for
+        the life of the process), and any ``insert`` / ``create_table``
+        / ``create_index`` produces a fresh key.
+        """
+        return ("db", self._serial, self._version)
+
+    def _bump(self) -> None:
+        self._version += 1
 
     # ------------------------------------------------------------------
     # DDL / DML
@@ -195,7 +245,9 @@ class Database:
         if name in self._tables:
             raise SchemaError(f"table {name!r} already exists")
         table = Table(RelationSchema(name, tuple(attributes), key))
+        table._on_mutate = self._bump
         self._tables[name] = table
+        self._bump()
         return table
 
     def insert(self, table_name: str, **attrs: Value) -> Tuple:
@@ -241,11 +293,16 @@ class Database:
     # Instance views
     # ------------------------------------------------------------------
     def instance(self) -> DatabaseInstance:
-        """The full database as a :class:`DatabaseInstance`."""
+        """The full database as a :class:`DatabaseInstance`.
+
+        The snapshot inherits this database's :attr:`data_key`, so two
+        snapshots taken at the same version share cached evaluations.
+        """
         result = DatabaseInstance(self.schema)
         for name, table in self._tables.items():
             for row in table.rows:
                 result.add(name, row)
+        result.adopt_key(self.data_key)
         return result
 
     def input_instance(

@@ -1,0 +1,163 @@
+"""Shared evaluation cache: evaluate once, explain many times.
+
+NedExplain's debugging loop (Alg. 1) re-evaluates the whole query tree
+for every why-not question, yet in an interactive session (and in the
+paper's own Table 4 workload) many questions target the *same* query
+over the *same* instance.  This module provides the shared substrate:
+
+* cache keys combine a **structural fingerprint** of ``(Q, eta_Q)``
+  (:func:`repro.relational.algebra.query_fingerprint`) with the data
+  identity/version key of the instance
+  (:attr:`repro.relational.instance.DatabaseInstance.data_key`), so
+
+  - structurally equal query trees share entries, and
+  - any mutation of the underlying data invalidates by key change;
+
+* entries are managed LRU with hit/miss/eviction counters, making the
+  "N questions, 1 evaluation" claim *assertable* (the batch benchmark
+  and the differential test suite both do);
+
+* cached :class:`~repro.relational.evaluator.EvaluationResult` objects
+  hold strong references to their query nodes, so the ``id()``-keyed
+  per-node maps stay sound for the lifetime of the entry; a hit against
+  a structurally equal but distinct tree is re-keyed via
+  :meth:`~repro.relational.evaluator.EvaluationResult.rebind`.
+
+Cached results are shared -- callers must treat them as immutable and
+copy tuple lists before modifying them (TabQ does).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .algebra import Query, query_fingerprint
+from .evaluator import EvaluationResult, evaluate
+from .instance import DatabaseInstance
+
+
+@dataclass
+class CacheStats:
+    """Observable counters of one :class:`EvaluationCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    #: full query evaluations actually performed (== misses, kept
+    #: separate so tests can assert the headline claim directly)
+    evaluations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = self.evaluations = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, evaluations={self.evaluations})"
+        )
+
+
+@dataclass
+class EvaluationCache:
+    """LRU cache of query evaluations, keyed by structure + data.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of retained :class:`EvaluationResult` entries;
+        the least recently used entry is evicted beyond that.
+    """
+
+    maxsize: int = 128
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.maxsize < 1:
+            raise ValueError("cache maxsize must be at least 1")
+        self._entries: OrderedDict[tuple, EvaluationResult] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_for(
+        root: Query,
+        instance: DatabaseInstance,
+        aliases: Mapping[str, str] | None = None,
+    ) -> tuple:
+        """The cache key: fingerprint of ``(Q, eta_Q)`` + data key."""
+        return (query_fingerprint(root, aliases), instance.data_key)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get_or_evaluate(
+        self,
+        root: Query,
+        instance: DatabaseInstance,
+        aliases: Mapping[str, str] | None = None,
+    ) -> EvaluationResult:
+        """Serve the evaluation of *root* over *instance* from cache.
+
+        On a miss the tree is evaluated (lineage-tracing, exactly as
+        :func:`~repro.relational.evaluator.evaluate`) and the result
+        retained.  On a hit against a structurally equal but distinct
+        tree object, the result is re-keyed onto the caller's nodes.
+        """
+        key = self.key_for(root, instance, aliases)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            if cached.root is root:
+                return cached
+            return cached.rebind(root)
+        self.stats.misses += 1
+        result = evaluate(root, instance)
+        self.stats.evaluations += 1
+        self._entries[key] = result
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return result
+
+    def peek(self, key: tuple) -> EvaluationResult | None:
+        """The entry under *key*, without touching LRU order or stats."""
+        return self._entries.get(key)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; use ``stats.reset()``)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:
+        return (
+            f"EvaluationCache({len(self._entries)}/{self.maxsize} "
+            f"entries, {self.stats!r})"
+        )
+
+
+#: Process-wide default cache shared by NedExplain, the Why-Not
+#: baseline, and ``repro.explain_batch`` unless a private cache is
+#: passed explicitly.
+DEFAULT_CACHE = EvaluationCache(maxsize=128)
+
+
+def get_default_cache() -> EvaluationCache:
+    """The process-wide shared :class:`EvaluationCache`."""
+    return DEFAULT_CACHE

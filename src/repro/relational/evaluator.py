@@ -23,13 +23,21 @@ class EvaluationResult:
     """Per-node inputs and outputs of one query evaluation.
 
     Nodes are keyed by identity (two structurally equal operators in
-    one tree are still distinct subqueries).
+    one tree are still distinct subqueries).  Because ``id()`` values
+    are recycled once an object is garbage-collected, every keyed node
+    is also held by strong reference (``_nodes``): a result that
+    outlives its evaluation call -- e.g. inside an
+    :class:`~repro.relational.evalcache.EvaluationCache` -- can never
+    have its keys silently re-bound to unrelated query objects.
     """
 
     def __init__(self, root: Query):
         self.root = root
         self._outputs: dict[int, list[Tuple]] = {}
         self._inputs: dict[int, list[list[Tuple]]] = {}
+        #: strong references keeping every keyed node alive (id-reuse
+        #: safety; see the class docstring)
+        self._nodes: dict[int, Query] = {}
 
     def set_node(
         self,
@@ -38,6 +46,7 @@ class EvaluationResult:
         output: list[Tuple],
     ) -> None:
         """Record the evaluation of one node."""
+        self._nodes[id(node)] = node
         self._inputs[id(node)] = inputs
         self._outputs[id(node)] = output
 
@@ -90,6 +99,34 @@ class EvaluationResult:
         """All evaluated nodes, bottom-up."""
         return self.root.postorder()
 
+    def rebind(self, new_root: Query) -> "EvaluationResult":
+        """Re-key this result onto a structurally equal tree.
+
+        A cached result is keyed by the node identities of the tree it
+        was computed from; a caller holding a *different but
+        structurally equal* tree (same fingerprint) gets a view keyed
+        by its own nodes.  Inputs and outputs are shared, not copied --
+        cached results must be treated as immutable.
+        """
+        old_nodes = list(self.root.postorder())
+        new_nodes = list(new_root.postorder())
+        if len(old_nodes) != len(new_nodes):
+            raise EvaluationError(
+                "cannot rebind evaluation result onto a tree of "
+                "different shape"
+            )
+        clone = EvaluationResult(new_root)
+        for old, new in zip(old_nodes, new_nodes):
+            if old.op != new.op:
+                raise EvaluationError(
+                    "cannot rebind evaluation result onto a tree of "
+                    "different shape"
+                )
+            clone.set_node(
+                new, self._inputs[id(old)], self._outputs[id(old)]
+            )
+        return clone
+
 
 def evaluate(root: Query, instance: DatabaseInstance) -> EvaluationResult:
     """Evaluate the query tree *root* over the input instance.
@@ -121,14 +158,22 @@ def evaluate_query(
     root: Query,
     database: DatabaseInstance,
     aliases: Mapping[str, str] | None = None,
+    cache=None,
 ) -> EvaluationResult:
     """Evaluate ``(Q, eta_Q)`` over a stored database (Def. 2.3).
 
     *aliases* maps each leaf alias to a stored relation name; when
     omitted, each alias is assumed to name a stored relation directly.
+    *cache* may be an
+    :class:`~repro.relational.evalcache.EvaluationCache`; repeated
+    evaluations of structurally equal queries over unchanged data are
+    then served from it (the returned result must be treated as
+    immutable in that case).
     """
     mapping = resolve_aliases(root, database, aliases)
     input_instance = query_input_instance(database, mapping)
+    if cache is not None:
+        return cache.get_or_evaluate(root, input_instance, mapping)
     return evaluate(root, input_instance)
 
 

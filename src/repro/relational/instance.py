@@ -12,11 +12,15 @@ fix for the baseline's Crime6/Crime7 failure discussed in Sec. 4.2).
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Iterator, Mapping
 
 from ..errors import SchemaError, UnknownRelationError
 from .schema import DatabaseSchema, RelationSchema
 from .tuples import Tuple, qualify, split_qualified
+
+#: process-wide serial numbers for instances (never reused, unlike id())
+_INSTANCE_SERIALS = itertools.count(1)
 
 
 class RelationInstance:
@@ -121,6 +125,43 @@ class DatabaseInstance:
         self._relations: dict[str, RelationInstance] = {
             r.name: RelationInstance(r) for r in schema
         }
+        self._serial = next(_INSTANCE_SERIALS)
+        self._version = 0
+        self._adopted_key: tuple | None = None
+        self._adopted_at_version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every :meth:`add`."""
+        return self._version
+
+    def adopt_key(self, key: tuple) -> None:
+        """Declare this instance a snapshot identified by *key*.
+
+        Snapshots of the same source at the same source version share
+        one key, letting the evaluation cache serve repeated
+        derivations (e.g. two engines over one stored database) from a
+        single evaluation.  Mutating the snapshot afterwards reverts it
+        to its private identity (see :attr:`data_key`).
+        """
+        self._adopted_key = key
+        self._adopted_at_version = self._version
+
+    @property
+    def data_key(self) -> tuple:
+        """Identity + version key for evaluation caching.
+
+        A pristine snapshot answers with its adopted (shared) key; an
+        instance mutated after adoption -- or never adopted -- answers
+        with its own never-reused serial plus version, so divergent
+        contents can never collide in the cache.
+        """
+        if (
+            self._adopted_key is not None
+            and self._version == self._adopted_at_version
+        ):
+            return self._adopted_key
+        return ("inst", self._serial, self._version)
 
     def relation(self, name: str) -> RelationInstance:
         """Return the instance of relation *name*."""
@@ -144,6 +185,7 @@ class DatabaseInstance:
     def add(self, relation_name: str, t: Tuple) -> None:
         """Insert *t* into relation *relation_name*."""
         self.relation(relation_name).add(t)
+        self._version += 1
 
     def insert_values(self, relation_name: str, tid: str, **attrs) -> Tuple:
         """Build and insert a base tuple from keyword attribute values.
@@ -158,6 +200,7 @@ class DatabaseInstance:
         }
         t = Tuple(values, tid=tid)
         relation.add(t)
+        self._version += 1
         return t
 
     def all_tuples(self) -> tuple[Tuple, ...]:
@@ -207,4 +250,7 @@ def query_input_instance(
         source = database.relation(target).requalified(alias)
         for t in source:
             result.add(alias, t)
+    result.adopt_key(
+        ("iq", database.data_key, tuple(sorted(aliases.items())))
+    )
     return result

@@ -2,10 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.core import SPJASpec, JoinPair, canonicalize
 from repro.relational import AggregateCall, Database, attr_cmp
+
+# Hypothesis profiles: "dev" (default) explores freely; "ci" is fixed
+# (derandomized) so continuous-integration runs are reproducible.
+# Select with HYPOTHESIS_PROFILE=ci.
+hypothesis_settings.register_profile(
+    "dev", deadline=None, print_blob=True
+)
+hypothesis_settings.register_profile(
+    "ci", deadline=None, derandomize=True, print_blob=True
+)
+hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "dev")
+)
 
 
 @pytest.fixture()

@@ -37,9 +37,12 @@ from repro.relational import (
     Comparison,
     Const,
     Database,
+    EvaluationCache,
     Var,
+    attr_cmp,
     evaluate_query,
     is_satisfiable,
+    query_fingerprint,
 )
 
 # ---------------------------------------------------------------------------
@@ -366,3 +369,138 @@ def test_spja_not_missing_flag_is_sound(case):
         elif not answer.no_compatible_data and not answer.is_empty():
             # a blamed answer should indeed be absent
             assert not actually_present
+
+
+# ---------------------------------------------------------------------------
+# Structural fingerprints and the shared evaluation cache
+# ---------------------------------------------------------------------------
+_CMP_OPS = ["<", "<=", ">", ">=", "=", "!="]
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_database(), spj_query())
+def test_fingerprint_stable_across_rebuilds(db, spec):
+    """Canonicalizing the same spec twice yields distinct tree objects
+    with identical fingerprints -- the property that makes the cache
+    hit across independently-built engines."""
+    first = canonicalize(spec, db.schema)
+    second = canonicalize(spec, db.schema)
+    assert first.root is not second.root
+    assert query_fingerprint(
+        first.root, first.aliases
+    ) == query_fingerprint(second.root, second.aliases)
+
+
+@st.composite
+def perturbed_spec_pair(draw):
+    """A base SPJ spec plus a structurally perturbed variant."""
+    bound = draw(_VALUES)
+    op = draw(st.sampled_from(_CMP_OPS))
+    base = SPJASpec(
+        aliases={"R": "R", "S": "S"},
+        joins=[JoinPair("R.b", "S.b")],
+        selections=[attr_cmp("R.a", op, bound)],
+        projection=("R.a", "S.c"),
+    )
+    kind = draw(
+        st.sampled_from(
+            ["bound", "op", "selection-attr", "projection", "join"]
+        )
+    )
+    if kind == "bound":
+        other = draw(_VALUES.filter(lambda v: v != bound))
+        selections = [attr_cmp("R.a", op, other)]
+        perturbed = SPJASpec(
+            aliases={"R": "R", "S": "S"},
+            joins=[JoinPair("R.b", "S.b")],
+            selections=selections,
+            projection=("R.a", "S.c"),
+        )
+    elif kind == "op":
+        other_op = draw(
+            st.sampled_from([o for o in _CMP_OPS if o != op])
+        )
+        perturbed = SPJASpec(
+            aliases={"R": "R", "S": "S"},
+            joins=[JoinPair("R.b", "S.b")],
+            selections=[attr_cmp("R.a", other_op, bound)],
+            projection=("R.a", "S.c"),
+        )
+    elif kind == "selection-attr":
+        perturbed = SPJASpec(
+            aliases={"R": "R", "S": "S"},
+            joins=[JoinPair("R.b", "S.b")],
+            selections=[attr_cmp("S.c", op, bound)],
+            projection=("R.a", "S.c"),
+        )
+    elif kind == "projection":
+        perturbed = SPJASpec(
+            aliases={"R": "R", "S": "S"},
+            joins=[JoinPair("R.b", "S.b")],
+            selections=[attr_cmp("R.a", op, bound)],
+            projection=("S.c",),
+        )
+    else:  # a different join equality
+        perturbed = SPJASpec(
+            aliases={"R": "R", "S": "S"},
+            joins=[JoinPair("R.id", "S.id")],
+            selections=[attr_cmp("R.a", op, bound)],
+            projection=("R.a", "S.c"),
+        )
+    return base, perturbed
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_database(), perturbed_spec_pair())
+def test_fingerprint_separates_perturbed_queries(db, pair):
+    base_spec, perturbed_spec = pair
+    base = canonicalize(base_spec, db.schema)
+    perturbed = canonicalize(perturbed_spec, db.schema)
+    assert query_fingerprint(
+        base.root, base.aliases
+    ) != query_fingerprint(perturbed.root, perturbed.aliases)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_database(), spj_query())
+def test_fingerprint_depends_on_alias_mapping(db, spec):
+    canonical = canonicalize(spec, db.schema)
+    renamed = dict(canonical.aliases)
+    renamed["R2"] = "R"
+    assert query_fingerprint(
+        canonical.root, canonical.aliases
+    ) != query_fingerprint(canonical.root, renamed)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_database(), spj_query(), _VALUES)
+def test_insert_bumps_version_and_forces_cache_miss(db, spec, needle):
+    """Mutating a table must invalidate cached evaluations: the version
+    counter moves, the data key changes, and the next explain misses."""
+    canonical = canonicalize(spec, db.schema)
+    cache = EvaluationCache()
+
+    NedExplain(canonical, database=db, cache=cache).explain(
+        CTuple({"R.a": needle})
+    )
+    assert cache.stats.evaluations == 1
+    assert cache.stats.misses == 1
+
+    # a second, independently built engine over the same state hits
+    NedExplain(canonical, database=db, cache=cache).explain(
+        CTuple({"R.a": needle})
+    )
+    assert cache.stats.evaluations == 1
+    assert cache.stats.hits == 1
+
+    table_version = db.table("R").version
+    db_version = db.version
+    db.table("R").insert(id=997, a=needle, b=needle)
+    assert db.table("R").version == table_version + 1
+    assert db.version > db_version
+
+    NedExplain(canonical, database=db, cache=cache).explain(
+        CTuple({"R.a": needle})
+    )
+    assert cache.stats.evaluations == 2
+    assert cache.stats.misses == 2
