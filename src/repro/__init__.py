@@ -29,7 +29,7 @@ Quick start::
     print(report.summary())
 """
 
-from . import baseline, bench, core, relational, workloads
+from . import baseline, bench, core, relational, robustness, workloads
 from .core import (
     CanonicalQuery,
     CTuple,
@@ -47,7 +47,20 @@ from .core import (
     why_not,
 )
 from .core.repairs import suggest_repairs, verify_repair
-from .errors import ReproError
+from .errors import (
+    BatchError,
+    BudgetExceededError,
+    ConfigurationError,
+    ReproError,
+)
+from .robustness import (
+    Budget,
+    ExecutionContext,
+    FailureInfo,
+    FaultPlan,
+    QuestionOutcome,
+    execution_context,
+)
 from .relational import (
     AggregateCall,
     CacheStats,
@@ -88,6 +101,7 @@ def explain_batch(
     why_not_questions,
     config: NedExplainConfig | None = None,
     cache: EvaluationCache | None = None,
+    budget: Budget | None = None,
 ) -> tuple[NedExplainReport, ...]:
     """Answer many why-not questions over one SQL query, batched.
 
@@ -96,6 +110,12 @@ def explain_batch(
     compatible sets and TabQ columns.  Returns one report per question,
     in order.
 
+    The batch is fault-isolating: when any question fails, a
+    :class:`~repro.errors.BatchError` is raised whose ``outcomes``
+    attribute still holds one result per question (answered questions
+    are never lost).  Use :func:`explain_outcomes` to get the
+    per-question outcomes without the exception.
+
     >>> reports = explain_batch(db, "SELECT ...",
     ...                         ["(A.name: Homer)", "(A.name: Vergil)"])
     """
@@ -103,24 +123,54 @@ def explain_batch(
     engine = NedExplain(
         canonical, database=database, config=config, cache=cache
     )
-    return engine.explain_many(why_not_questions)
+    return engine.explain_many(why_not_questions, budget=budget)
+
+
+def explain_outcomes(
+    database: Database,
+    sql: str,
+    why_not_questions,
+    config: NedExplainConfig | None = None,
+    cache: EvaluationCache | None = None,
+    budget: Budget | None = None,
+) -> tuple[QuestionOutcome, ...]:
+    """Fault-isolating variant of :func:`explain_batch`.
+
+    Always returns one :class:`~repro.robustness.QuestionOutcome` per
+    question -- a report, or a structured failure (error class, phase,
+    budget spent) when that question failed.  Never raises for a
+    per-question failure.
+    """
+    canonical = sql_to_canonical(sql, database.schema)
+    engine = NedExplain(
+        canonical, database=database, config=config, cache=cache
+    )
+    return engine.explain_each(why_not_questions, budget=budget)
 
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AggregateCall",
+    "BatchError",
+    "Budget",
+    "BudgetExceededError",
     "CacheStats",
     "CanonicalQuery",
+    "ConfigurationError",
     "CTuple",
     "Database",
     "DatabaseInstance",
     "EvaluationCache",
+    "ExecutionContext",
+    "FailureInfo",
+    "FaultPlan",
     "JoinPair",
     "NedExplain",
     "NedExplainConfig",
     "NedExplainReport",
     "Predicate",
+    "QuestionOutcome",
     "Renaming",
     "ReproError",
     "SPJASpec",
@@ -134,7 +184,9 @@ __all__ = [
     "canonicalize",
     "core",
     "evaluate_query",
+    "execution_context",
     "explain_batch",
+    "explain_outcomes",
     "explain_sql",
     "get_default_cache",
     "load_database",
@@ -142,6 +194,7 @@ __all__ = [
     "parse_predicate",
     "query_fingerprint",
     "relational",
+    "robustness",
     "save_database",
     "sql_to_canonical",
     "suggest_repairs",

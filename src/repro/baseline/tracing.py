@@ -17,9 +17,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import QueryError
 from ..relational.algebra import Query, RelationLeaf
 from ..relational.evaluator import EvaluationResult
 from ..relational.tuples import Tuple
+from ..robustness.budget import current_context
 from .unpicked import UnpickedItem
 
 
@@ -41,7 +43,7 @@ def leaf_of(root: Query, alias: str) -> RelationLeaf:
     for leaf in root.leaves():
         if leaf.alias == alias:
             return leaf
-    raise ValueError(f"no leaf for alias {alias!r}")
+    raise QueryError(f"no leaf for alias {alias!r}")
 
 
 def path_to_root(root: Query, node: Query) -> list[Query]:
@@ -80,7 +82,11 @@ def trace_item(
     """Trace one unpicked item bottom-up (plain successors)."""
     tid = item.tid
     leaf = leaf_of(root, item.alias)
+    context = current_context()
     for node in path_to_root(root, leaf):
+        if context is not None:
+            # one lineage lookup per output candidate of this node
+            context.tick_comparisons(len(result.output(node)))
         has_successor = any(
             _derives_from(t, tid) for t in result.output(node)
         )
@@ -110,8 +116,11 @@ def trace_item_top_down(
     tid = item.tid
     leaf = leaf_of(root, item.alias)
     path = path_to_root(root, leaf)  # leaf-adjacent ... root
+    context = current_context()
     blamed_candidate: Query | None = None
     for node in reversed(path):
+        if context is not None:
+            context.tick_comparisons(len(result.output(node)))
         has_successor = any(
             _derives_from(t, tid) for t in result.output(node)
         )

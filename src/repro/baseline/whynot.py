@@ -30,6 +30,12 @@ import time
 from dataclasses import dataclass, field
 
 from ..errors import UnsupportedQueryError
+from ..robustness.budget import (
+    Budget,
+    ExecutionContext,
+    current_context,
+    execution_context,
+)
 from ..relational.algebra import Aggregate, Difference, Query
 from ..relational.database import Database
 from ..relational.evalcache import EvaluationCache, get_default_cache
@@ -133,9 +139,21 @@ class WhyNotBaseline:
 
     # ------------------------------------------------------------------
     def explain(
-        self, predicate: Predicate | CTuple | str
+        self,
+        predicate: Predicate | CTuple | str,
+        budget: Budget | None = None,
     ) -> WhyNotBaselineReport:
-        """Run the Why-Not algorithm for *predicate*."""
+        """Run the Why-Not algorithm for *predicate*.
+
+        With a *budget*, evaluation and tracing are tick-checked; on
+        exhaustion a :class:`~repro.errors.BudgetExceededError`
+        propagates (the baseline has no notion of a partial answer --
+        NedExplain's degraded reports are part of what the re-design
+        adds over it).
+        """
+        if budget is not None and current_context() is None:
+            with execution_context(ExecutionContext(budget)):
+                return self.explain(predicate)
         if isinstance(predicate, str):
             predicate = parse_predicate(predicate)
         if isinstance(predicate, CTuple):

@@ -12,7 +12,8 @@ from dataclasses import dataclass, field
 
 from ..baseline import WhyNotBaseline, WhyNotBaselineReport
 from ..core import NedExplain, NedExplainConfig, NedExplainReport
-from ..errors import UnsupportedQueryError
+from ..errors import BudgetExceededError, UnsupportedQueryError
+from ..robustness.budget import Budget
 from ..workloads.usecases import UseCase, use_case_setup
 
 
@@ -59,19 +60,28 @@ def run_use_case(
     scale: int = 1,
     run_baseline: bool = True,
     config: NedExplainConfig | None = None,
+    budget: Budget | None = None,
 ) -> UseCaseResult:
-    """Run one named use case with both algorithms."""
+    """Run one named use case with both algorithms.
+
+    With a *budget*, NedExplain degrades to a partial report on
+    exhaustion (``result.ned.partial``); the baseline, which has no
+    partial-answer notion, is marked n.a. when its budget runs out so
+    a runaway baseline cannot stall a benchmark sweep.
+    """
     use_case, database, canonical = use_case_setup(name, scale)
     ned_engine = NedExplain(canonical, database=database, config=config)
-    ned_report = ned_engine.explain(use_case.predicate)
+    ned_report = ned_engine.explain(use_case.predicate, budget=budget)
 
     whynot_report: WhyNotBaselineReport | None = None
     whynot_na = False
     if run_baseline:
         try:
             baseline = WhyNotBaseline(canonical, database=database)
-            whynot_report = baseline.explain(use_case.predicate)
-        except UnsupportedQueryError:
+            whynot_report = baseline.explain(
+                use_case.predicate, budget=budget
+            )
+        except (UnsupportedQueryError, BudgetExceededError):
             whynot_na = True
     return UseCaseResult(
         use_case=use_case,
@@ -82,12 +92,14 @@ def run_use_case(
 
 
 def run_all(
-    scale: int = 1, config: NedExplainConfig | None = None
+    scale: int = 1,
+    config: NedExplainConfig | None = None,
+    budget: Budget | None = None,
 ) -> list[UseCaseResult]:
     """Run every use case of Table 4."""
     from ..workloads.usecases import USE_CASES
 
     return [
-        run_use_case(uc.name, scale=scale, config=config)
+        run_use_case(uc.name, scale=scale, config=config, budget=budget)
         for uc in USE_CASES
     ]

@@ -35,6 +35,14 @@ from .errors import ReproError, UnsupportedQueryError
 from .relational.csv_io import load_database
 from .relational.evaluator import evaluate_query
 from .relational.sql import sql_to_canonical
+from .robustness import Budget
+
+#: exit codes: 0 = success, 2 = fatal error, 3 = the run completed but
+#: degraded -- a batch with per-question failures, or a budget-limited
+#: explain that returned a partial report
+EXIT_OK = 0
+EXIT_ERROR = 2
+EXIT_DEGRADED = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +88,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the query result first",
     )
+    explain.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock execution budget; on exhaustion a partial "
+        "(degraded) answer is printed and the exit code is 3",
+    )
+    explain.add_argument(
+        "--max-rows",
+        type=int,
+        default=None,
+        dest="max_rows",
+        metavar="N",
+        help="cap on intermediate rows materialized per question",
+    )
+    explain.add_argument(
+        "--max-comparisons",
+        type=int,
+        default=None,
+        dest="max_comparisons",
+        metavar="N",
+        help="cap on tuple comparisons performed per question",
+    )
 
     demo = commands.add_parser(
         "demo", help="run one of the paper's use cases"
@@ -102,7 +134,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_evaluate()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
+
+
+def _budget_from(args) -> Budget | None:
+    limits = (
+        getattr(args, "timeout", None),
+        getattr(args, "max_rows", None),
+        getattr(args, "max_comparisons", None),
+    )
+    if all(limit is None for limit in limits):
+        return None
+    return Budget(
+        deadline_s=limits[0],
+        max_rows=limits[1],
+        max_comparisons=limits[2],
+    )
 
 
 def _run_explain(args) -> int:
@@ -121,11 +168,14 @@ def _run_explain(args) -> int:
         print()
 
     questions = list(args.why_not)
+    budget = _budget_from(args)
     if args.batch or len(questions) > 1:
-        return _run_explain_batch(args, database, canonical, questions)
+        return _run_explain_batch(
+            args, database, canonical, questions, budget
+        )
 
     engine = NedExplain(canonical, database=database)
-    report = engine.explain(questions[0])
+    report = engine.explain(questions[0], budget=budget)
     print("NedExplain:")
     print(report.summary())
 
@@ -145,19 +195,30 @@ def _run_explain(args) -> int:
             print(baseline.explain(questions[0]).summary())
         except UnsupportedQueryError as exc:
             print(f"Why-Not baseline: n.a. ({exc})")
-    return 0
+    return EXIT_DEGRADED if report.partial else EXIT_OK
 
 
-def _run_explain_batch(args, database, canonical, questions) -> int:
-    """Batched mode: N questions, one shared query evaluation."""
+def _run_explain_batch(args, database, canonical, questions, budget) -> int:
+    """Batched mode: N questions, one shared query evaluation.
+
+    Fault-isolating: every question resolves to a report or a printed
+    failure; one bad question never drops the rest of the batch.  The
+    exit code is 3 (not 0) when any question failed or was degraded.
+    """
     from .relational import EvaluationCache
 
     cache = EvaluationCache()
     engine = NedExplain(canonical, database=database, cache=cache)
-    reports = engine.explain_many(questions)
-    for question, report in zip(questions, reports):
+    outcomes = engine.explain_each(questions, budget=budget)
+    degraded = False
+    for question, outcome in zip(questions, outcomes):
         print(f"why-not {question}")
-        print(report.summary())
+        if outcome.ok:
+            print(outcome.report.summary())
+            degraded = degraded or outcome.report.partial
+        else:
+            print(f"  FAILED: {outcome.failure.describe()}")
+            degraded = True
         print()
     stats = cache.stats
     print(
@@ -171,13 +232,20 @@ def _run_explain_batch(args, database, canonical, questions) -> int:
             baseline = WhyNotBaseline(
                 canonical, database=database, cache=cache
             )
+        except UnsupportedQueryError as exc:
+            print(f"Why-Not baseline: n.a. ({exc})")
+        else:
             print("Why-Not baseline:")
             for question in questions:
                 print(f"why-not {question}")
-                print(baseline.explain(question).summary())
-        except UnsupportedQueryError as exc:
-            print(f"Why-Not baseline: n.a. ({exc})")
-    return 0
+                # per-question containment: one failing question must
+                # not drop the baseline answers of the remaining ones
+                try:
+                    print(baseline.explain(question).summary())
+                except ReproError as exc:
+                    print(f"  FAILED: {type(exc).__name__}: {exc}")
+                    degraded = True
+    return EXIT_DEGRADED if degraded else EXIT_OK
 
 
 def _run_demo(args) -> int:

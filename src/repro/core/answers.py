@@ -54,6 +54,10 @@ class WhyNotAnswer:
     no_compatible_data: bool = False
     #: True when the "missing" answer is actually present in the result
     answer_not_missing: bool = False
+    #: True when the traversal was cut short by an exhausted execution
+    #: budget: the detailed entries are a best-effort prefix of the
+    #: full answer, not the complete blame set
+    partial: bool = False
 
     @property
     def condensed(self) -> tuple[Query, ...]:
@@ -93,6 +97,8 @@ class WhyNotAnswer:
             parts.append("no_compatible_data=True")
         if self.answer_not_missing:
             parts.append("answer_not_missing=True")
+        if self.partial:
+            parts.append("partial=True")
         return f"WhyNotAnswer({', '.join(parts)})"
 
 
@@ -110,6 +116,11 @@ class NedExplainReport:
     #: milliseconds per phase: Initialization, CompatibleFinder,
     #: SuccessorsFinder, BottomUp (the four phases of Fig. 5)
     phase_times_ms: dict[str, float] = field(default_factory=dict)
+    #: True when an execution budget ran out mid-run: the report is an
+    #: explicit best-effort, degraded answer (see docs/robustness.md)
+    partial: bool = False
+    #: human-readable reason the run was degraded, when ``partial``
+    degraded_reason: str | None = None
 
     def __iter__(self) -> Iterator[WhyNotAnswer]:
         return iter(self.answers)
@@ -182,10 +193,15 @@ class NedExplainReport:
                 )
             elif not answer.no_compatible_data:
                 lines.append("  detailed : (empty)")
+            if answer.partial:
+                lines.append("  (partial: execution budget exhausted)")
             if answer.secondary:
                 lines.append(
                     "  secondary: " + ", ".join(answer.secondary_labels)
                 )
+        if self.partial:
+            reason = self.degraded_reason or "execution budget exhausted"
+            lines.append(f"PARTIAL RESULT: {reason}")
         return "\n".join(lines)
 
 
@@ -193,8 +209,16 @@ def merge_reports(reports: Iterable[NedExplainReport]) -> NedExplainReport:
     """Merge several reports (e.g. one per predicate disjunct)."""
     answers: list[WhyNotAnswer] = []
     phases: dict[str, float] = {}
+    partial = False
+    degraded_reason: str | None = None
     for report in reports:
         answers.extend(report.answers)
         for phase, value in report.phase_times_ms.items():
             phases[phase] = phases.get(phase, 0.0) + value
-    return NedExplainReport(tuple(answers), phases)
+        if report.partial:
+            partial = True
+            degraded_reason = degraded_reason or report.degraded_reason
+    return NedExplainReport(
+        tuple(answers), phases, partial=partial,
+        degraded_reason=degraded_reason,
+    )

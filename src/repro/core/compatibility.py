@@ -29,6 +29,8 @@ from typing import Mapping
 
 from ..relational.conditions import Var, is_satisfiable
 from ..relational.database import Database
+from ..robustness.budget import current_context
+from ..robustness.faults import fault_point
 from ..relational.instance import DatabaseInstance
 from ..relational.tuples import Tuple, Value, alias_of, unqualified_name
 from .whynot_question import CTuple
@@ -121,6 +123,7 @@ class CompatibleFinder:
 
     def find(self, tc: CTuple) -> CompatibilitySets:
         """Compute ``Dir_tc`` / ``InDir_tc`` for the c-tuple."""
+        fault_point("compatible.find")
         constrained = frozenset(
             alias
             for alias in (alias_of(attr) for attr in tc.type)
@@ -161,6 +164,9 @@ class CompatibleFinder:
         candidates = self._candidates(alias, tc)
         if candidates is None:
             candidates = list(relation)
+        context = current_context()
+        if context is not None:
+            context.tick_comparisons(len(candidates))
         return [t for t in candidates if tuple_matches_ctuple(t, tc)]
 
     def _candidates(self, alias: str, tc: CTuple) -> list[Tuple] | None:

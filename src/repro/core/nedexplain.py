@@ -27,13 +27,26 @@ import time
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
-from ..errors import WhyNotQuestionError
+from ..errors import (
+    BatchError,
+    BudgetExceededError,
+    EvaluationError,
+    ReproError,
+    WhyNotQuestionError,
+)
 from ..relational.algebra import Aggregate, Query
 from ..relational.database import Database
 from ..relational.evalcache import EvaluationCache, get_default_cache
 from ..relational.evaluator import EvaluationResult
 from ..relational.instance import DatabaseInstance
 from ..relational.tuples import Tuple
+from ..robustness.budget import (
+    Budget,
+    ExecutionContext,
+    current_context,
+    execution_context,
+)
+from ..robustness.outcomes import FailureInfo, QuestionOutcome
 from .answers import DetailedEntry, NedExplainReport, WhyNotAnswer
 from .canonical import CanonicalQuery
 from .compatibility import (
@@ -61,12 +74,17 @@ class NedExplainConfig:
     shared (cached) query evaluation instead of re-applying every
     manipulation per c-tuple; disabling it restores the paper's
     literal per-question loop (the oracle of the differential tests).
+    ``budget`` is the default execution budget applied to every
+    ``explain``/``explain_each`` call that does not pass its own; when
+    it runs out the call returns an explicit *degraded* report
+    (``report.partial``) instead of raising.
     """
 
     early_termination: bool = True
     compute_secondary: bool = True
     check_answer_presence: bool = True
     use_shared_evaluation: bool = True
+    budget: Budget | None = None
 
 
 class NedExplain:
@@ -122,55 +140,100 @@ class NedExplain:
     # Public API
     # ------------------------------------------------------------------
     def explain(
-        self, predicate: Predicate | CTuple | str
+        self,
+        predicate: Predicate | CTuple | str,
+        budget: Budget | None = None,
     ) -> NedExplainReport:
-        """Answer a Why-Not question; returns the full report."""
+        """Answer a Why-Not question; returns the full report.
+
+        With a *budget* (argument, ``config.budget``, or an ambient
+        :func:`~repro.robustness.budget.execution_context` installed by
+        the caller), exhaustion does not raise: the call returns a
+        *degraded* report (``report.partial`` set, the partially-filled
+        TabQ retained in ``last_tabqs``) holding every answer completed
+        before the budget ran out.
+        """
         predicate = self._coerce(predicate)
         predicate.validate_against(self.canonical.root)
+        budget = budget if budget is not None else self.config.budget
+        if budget is not None and current_context() is None:
+            with execution_context(ExecutionContext(budget)):
+                return self._explain_validated(predicate)
+        return self._explain_validated(predicate)
+
+    def _explain_validated(self, predicate: Predicate) -> NedExplainReport:
         self._phases = {phase: 0.0 for phase in PHASES}
         self.last_tabqs = []
+        answers: list[WhyNotAnswer] = []
+        partial = False
+        degraded_reason: str | None = None
 
-        self._shared = None
-        if self.config.use_shared_evaluation:
+        try:
+            self._shared = None
+            if self.config.use_shared_evaluation:
+                self._note_phase("BottomUp")
+                started = time.perf_counter()
+                self._shared = self.cache.get_or_evaluate(
+                    self.canonical.root,
+                    self.instance,
+                    self.canonical.aliases,
+                )
+                # evaluation cost used to live in the per-entry
+                # bottom-up pass; keep it in the same Fig. 5 phase for
+                # comparability
+                self._phases["BottomUp"] += (
+                    time.perf_counter() - started
+                ) * 1000.0
+
+            self._note_phase("Initialization")
             started = time.perf_counter()
-            self._shared = self.cache.get_or_evaluate(
-                self.canonical.root, self.instance, self.canonical.aliases
-            )
-            # evaluation cost used to live in the per-entry bottom-up
-            # pass; keep it in the same Fig. 5 phase for comparability
-            self._phases["BottomUp"] += (
+            pairs: list[tuple[CTuple, CTuple]] = []
+            for original in predicate:
+                for unrenamed in unrename_ctuple(
+                    self.canonical.root, original
+                ):
+                    pairs.append((original, unrenamed))
+            self._phases["Initialization"] += (
                 time.perf_counter() - started
             ) * 1000.0
 
-        started = time.perf_counter()
-        pairs: list[tuple[CTuple, CTuple]] = []
-        for original in predicate:
-            for unrenamed in unrename_ctuple(self.canonical.root, original):
-                pairs.append((original, unrenamed))
-        self._phases["Initialization"] += (
-            time.perf_counter() - started
-        ) * 1000.0
-
-        answers: list[WhyNotAnswer] = []
-        for original, unrenamed in pairs:
-            answer, tabq = self._explain_ctuple(unrenamed)
-            if (
-                self.config.check_answer_presence
-                and tabq is not None
-            ):
-                root_entry = tabq.entry(self.canonical.root)
-                if root_entry.output is not None and any(
-                    tuple_matches_ctuple(t, original)
-                    for t in root_entry.output
+            for original, unrenamed in pairs:
+                answer, tabq = self._explain_ctuple(unrenamed)
+                if (
+                    self.config.check_answer_presence
+                    and tabq is not None
                 ):
-                    answer.answer_not_missing = True
-            answers.append(answer)
-            if tabq is not None:
-                self.last_tabqs.append(tabq)
-        return NedExplainReport(tuple(answers), dict(self._phases))
+                    root_entry = tabq.entry(self.canonical.root)
+                    if root_entry.output is not None and any(
+                        tuple_matches_ctuple(t, original)
+                        for t in root_entry.output
+                    ):
+                        answer.answer_not_missing = True
+                answers.append(answer)
+                if tabq is not None:
+                    self.last_tabqs.append(tabq)
+        except BudgetExceededError as exc:
+            # Budgeted degradation: return what was completed plus a
+            # best-effort answer for the in-flight c-tuple, explicitly
+            # flagged -- never a bare traceback (cf. the approximate,
+            # bounded-effort answers of Lee et al. 2020).
+            partial = True
+            degraded_reason = str(exc)
+            if exc.partial_answer is not None:
+                answers.append(exc.partial_answer)
+            if exc.partial is not None:
+                self.last_tabqs.append(exc.partial)
+        return NedExplainReport(
+            tuple(answers),
+            dict(self._phases),
+            partial=partial,
+            degraded_reason=degraded_reason,
+        )
 
     def explain_many(
-        self, predicates: Iterable[Predicate | CTuple | str]
+        self,
+        predicates: Iterable[Predicate | CTuple | str],
+        budget: Budget | None = None,
     ) -> tuple[NedExplainReport, ...]:
         """Answer many Why-Not questions against one shared evaluation.
 
@@ -182,8 +245,89 @@ class NedExplain:
         independent :meth:`explain` calls (the differential test suite
         asserts this over all Table-4 use cases and hundreds of
         randomized workloads).
+
+        The batch is *fault-isolating*: every question runs to an
+        outcome even when an earlier one fails.  When all questions
+        succeed, the reports are returned; when any failed, a
+        :class:`~repro.errors.BatchError` is raised whose ``outcomes``
+        attribute still carries one
+        :class:`~repro.robustness.outcomes.QuestionOutcome` per
+        question (use :meth:`explain_each` to get the outcomes without
+        the exception).
         """
-        return tuple(self.explain(predicate) for predicate in predicates)
+        outcomes = self.explain_each(predicates, budget=budget)
+        failed = [o for o in outcomes if not o.ok]
+        if failed:
+            raise BatchError(
+                f"{len(failed)} of {len(outcomes)} questions failed "
+                "(all outcomes attached)",
+                outcomes=outcomes,
+            )
+        return tuple(o.report for o in outcomes)  # type: ignore[misc]
+
+    def explain_each(
+        self,
+        predicates: Iterable[Predicate | CTuple | str],
+        budget: Budget | None = None,
+    ) -> tuple[QuestionOutcome, ...]:
+        """Fault-isolating batch: one outcome per question, always.
+
+        Each question gets a fresh per-question
+        :class:`~repro.robustness.budget.ExecutionContext` (built from
+        *budget*, falling back to ``config.budget``) and resolves to
+        either a report or a structured failure (error class, phase,
+        budget spent) -- a failing question never takes the rest of the
+        batch down, and an aborted evaluation never leaves a partial
+        entry in the shared cache.  Unexpected non-library exceptions
+        are wrapped in :class:`~repro.errors.EvaluationError` so the
+        ``except ReproError`` contract holds for callers.
+        """
+        effective = budget if budget is not None else self.config.budget
+        outcomes: list[QuestionOutcome] = []
+        for predicate in predicates:
+            context = ExecutionContext(effective)
+            try:
+                with execution_context(context):
+                    report = self.explain(predicate)
+                outcomes.append(
+                    QuestionOutcome(question=predicate, report=report)
+                )
+            except ReproError as exc:
+                outcomes.append(
+                    QuestionOutcome(
+                        question=predicate,
+                        failure=FailureInfo.from_error(
+                            exc,
+                            phase=context.phase,
+                            spent=context.spent(),
+                        ),
+                        error=exc,
+                    )
+                )
+            except Exception as exc:  # noqa: BLE001 -- containment
+                wrapped = EvaluationError(
+                    f"unexpected {type(exc).__name__} while explaining "
+                    f"{predicate!r}: {exc}"
+                )
+                wrapped.__cause__ = exc
+                outcomes.append(
+                    QuestionOutcome(
+                        question=predicate,
+                        failure=FailureInfo.from_error(
+                            wrapped,
+                            phase=context.phase,
+                            spent=context.spent(),
+                        ),
+                        error=wrapped,
+                    )
+                )
+        return tuple(outcomes)
+
+    def _note_phase(self, name: str) -> None:
+        """Point the ambient execution context at the running phase."""
+        context = current_context()
+        if context is not None:
+            context.phase = name
 
     def _coerce(self, predicate: Predicate | CTuple | str) -> Predicate:
         if isinstance(predicate, str):
@@ -198,6 +342,7 @@ class NedExplain:
     def _explain_ctuple(
         self, tc: CTuple
     ) -> tuple[WhyNotAnswer, TabQ | None]:
+        self._note_phase("CompatibleFinder")
         started = time.perf_counter()
         compat = self.finder.find(tc)
         self._phases["CompatibleFinder"] += (
@@ -210,6 +355,7 @@ class NedExplain:
                 None,
             )
 
+        self._note_phase("Initialization")
         started = time.perf_counter()
         tabq = TabQ(self.canonical.root, self.instance, compat)
         self._phases["Initialization"] += (
@@ -217,13 +363,23 @@ class NedExplain:
         ) * 1000.0
 
         detailed: list[DetailedEntry] = []
-        for index in range(len(tabq)):
-            entry = tabq[index]
-            if self.config.early_termination and self._check_early_termination(
-                tabq, index
-            ):
-                break
-            self._process_entry(tabq, entry, compat, tc, detailed)
+        try:
+            for index in range(len(tabq)):
+                entry = tabq[index]
+                if self.config.early_termination and self._check_early_termination(
+                    tabq, index
+                ):
+                    break
+                self._process_entry(tabq, entry, compat, tc, detailed)
+        except BudgetExceededError as exc:
+            # Attach everything completed so far so the caller can
+            # report a best-effort prefix of the answer (Alg. 1 cut
+            # short mid-traversal).
+            exc.partial = tabq
+            exc.partial_answer = WhyNotAnswer(
+                ctuple=tc, detailed=tuple(detailed), partial=True
+            )
+            raise
 
         secondary: tuple[Query, ...] = ()
         if self.config.compute_secondary:
@@ -252,6 +408,7 @@ class NedExplain:
         tc: CTuple,
         detailed: list[DetailedEntry],
     ) -> None:
+        self._note_phase("BottomUp")
         started = time.perf_counter()
         node = entry.node
         if self._shared is not None:
@@ -285,6 +442,7 @@ class NedExplain:
             return
 
         # Alg. 3: FindSuccessors
+        self._note_phase("SuccessorsFinder")
         started = time.perf_counter()
         step = find_successors(
             entry.output,

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..relational.tuples import Tuple
+from ..robustness.budget import current_context
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,11 @@ def find_successors(
     within ``valid_tids`` (``Dir | InDir``) and it derives directly
     from a compatible input tuple.
     """
+    context = current_context()
+    if context is not None:
+        # one validity + derivation check per output candidate, one
+        # survival check per compatible input
+        context.tick_comparisons(len(output) + len(compatibles))
     compatible_set = set(compatibles)
     successors: list[Tuple] = []
     for candidate in output:

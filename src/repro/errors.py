@@ -76,3 +76,80 @@ class SqlSyntaxError(ReproError):
         if position is not None:
             message = f"{message} (at offset {position})"
         super().__init__(message)
+
+
+class ConfigurationError(ReproError):
+    """A tunable (cache size, workload parameter, budget limit) is
+    invalid -- the caller configured the library inconsistently."""
+
+
+class BudgetExceededError(ReproError):
+    """An execution budget was exhausted mid-evaluation.
+
+    Raised cooperatively by the tick checks that
+    :class:`repro.robustness.budget.ExecutionContext` threads through
+    the evaluator, the compatible-set computation, and the NedExplain
+    traversal.  Carries enough state for the caller to return an
+    explicit best-effort answer instead of nothing:
+
+    ``resource``
+        which limit was hit (``"deadline"``, ``"rows"``,
+        ``"comparisons"``, or ``"injected"`` for fault injection);
+    ``spent``
+        a :class:`repro.robustness.budget.BudgetSpent` snapshot;
+    ``phase``
+        the algorithm phase active when the budget ran out;
+    ``partial``
+        the partially-filled TabQ of the in-flight c-tuple, if the
+        traversal had started one;
+    ``partial_answer``
+        a degraded :class:`repro.core.answers.WhyNotAnswer` built from
+        the detailed entries accumulated before exhaustion.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        resource: str | None = None,
+        spent=None,
+        phase: str | None = None,
+        partial=None,
+    ):
+        super().__init__(message)
+        self.resource = resource
+        self.spent = spent
+        self.phase = phase
+        self.partial = partial
+        self.partial_answer = None
+
+
+class InjectedFaultError(ReproError):
+    """A deterministic fault injected by :mod:`repro.robustness.faults`.
+
+    Only ever raised while a :class:`~repro.robustness.faults.FaultPlan`
+    is installed (the chaos test suite); carries the named site and the
+    invocation index at which the plan fired.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        site: str | None = None,
+        call_index: int | None = None,
+    ):
+        super().__init__(message)
+        self.site = site
+        self.call_index = call_index
+
+
+class BatchError(ReproError):
+    """At least one question of a fault-isolated batch failed.
+
+    The batch still ran to completion: ``outcomes`` holds one
+    :class:`repro.robustness.outcomes.QuestionOutcome` per question, in
+    question order, so no answered question is lost to the failure.
+    """
+
+    def __init__(self, message: str, outcomes=()):
+        super().__init__(message)
+        self.outcomes = tuple(outcomes)

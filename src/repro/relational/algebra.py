@@ -27,6 +27,7 @@ import itertools
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..errors import QueryError, SchemaError
+from ..robustness.budget import current_context
 from .aggregates import AggregateCall, check_distinct_aliases
 from .conditions import (
     And,
@@ -42,6 +43,19 @@ from .conditions import (
 from .renaming import Renaming
 from .schema import RelationSchema, check_disjoint
 from .tuples import Tuple, Value
+
+
+def _tick_comparisons(n: int) -> None:
+    """Charge *n* tuple comparisons to the ambient execution budget.
+
+    Raises :class:`~repro.errors.BudgetExceededError` when the limit is
+    crossed -- this is what contains a runaway operator *mid-loop*
+    instead of only between operators.
+    """
+    if n:
+        context = current_context()
+        if context is not None:
+            context.tick_comparisons(n)
 
 
 def _dedupe(tuples: Iterable[Tuple]) -> list[Tuple]:
@@ -242,6 +256,7 @@ class Select(Query):
 
     def apply(self, inputs: Sequence[Sequence[Tuple]]) -> list[Tuple]:
         (child_tuples,) = inputs
+        _tick_comparisons(len(child_tuples))
         out = []
         for t in child_tuples:
             if self.condition.evaluate(t):
@@ -333,6 +348,7 @@ class Join(Query):
 
         # Hash join on the renaming pairs (cross product when empty).
         index: dict[tuple[Value, ...], list[Tuple]] = {}
+        _tick_comparisons(len(right_tuples))
         for rt in right_tuples:
             key = tuple(rt[a] for a in right_keys)
             if any(v is None for v in key):
@@ -344,7 +360,11 @@ class Join(Query):
             key = tuple(lt[a] for a in left_keys)
             if any(v is None for v in key):
                 continue
-            for rt in index.get(key, ()):
+            matches = index.get(key, ())
+            # per-probe tick: bounds a runaway (e.g. accidental cross)
+            # join inside this very loop, not only after it returns
+            _tick_comparisons(1 + len(matches))
+            for rt in matches:
                 values: dict[str, Value] = {}
                 for attr, value in lt.items():
                     values[left_map.get(attr, attr)] = value
@@ -441,6 +461,7 @@ class Aggregate(Query):
         to intermediate compatible-tuple sets when checking
         ``tc.cond_alpha`` (Def. 2.12, second part).
         """
+        _tick_comparisons(len(tuples))
         groups: dict[tuple[Value, ...], list[Tuple]] = {}
         order: list[tuple[Value, ...]] = []
         for t in tuples:
@@ -502,6 +523,7 @@ class Union(Query):
 
     def apply(self, inputs: Sequence[Sequence[Tuple]]) -> list[Tuple]:
         left_tuples, right_tuples = inputs
+        _tick_comparisons(len(left_tuples) + len(right_tuples))
         left_map = self.renaming.left_mapping(self.left.target_type)
         right_map = self.renaming.right_mapping(self.right.target_type)
         out: list[Tuple] = []
@@ -561,6 +583,7 @@ class Difference(Query):
 
     def apply(self, inputs: Sequence[Sequence[Tuple]]) -> list[Tuple]:
         left_tuples, right_tuples = inputs
+        _tick_comparisons(len(left_tuples) + len(right_tuples))
         left_map = self.renaming.left_mapping(self.left.target_type)
         right_map = self.renaming.right_mapping(self.right.target_type)
         blocked_values: set[frozenset] = set()

@@ -14,7 +14,8 @@ import csv
 import json
 from pathlib import Path
 
-from ..errors import SchemaError
+from ..errors import ReproError, SchemaError
+from ..robustness.faults import fault_point
 from .database import Database
 from .tuples import Value, qualify
 
@@ -56,16 +57,39 @@ def load_database(directory: str | Path) -> Database:
         raise SchemaError(f"{path} is not a directory")
     catalog_path = path / _SCHEMA_FILE
     if catalog_path.exists():
-        with open(catalog_path) as handle:
-            catalog = json.load(handle)
-        database = Database(catalog.get("name", path.name))
-        for entry in catalog["tables"]:
-            database.create_table(
-                entry["name"],
-                entry["attributes"],
-                key=entry.get("key"),
+        try:
+            with open(catalog_path) as handle:
+                catalog = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(
+                f"{catalog_path.name}: invalid JSON catalog "
+                f"(line {exc.lineno}, column {exc.colno}): {exc.msg}"
+            ) from exc
+        if not isinstance(catalog, dict) or not isinstance(
+            catalog.get("tables"), list
+        ):
+            raise SchemaError(
+                f"{catalog_path.name}: catalog must be a JSON object "
+                "with a 'tables' list"
             )
-            _load_rows(database, entry["name"], path)
+        database = Database(catalog.get("name", path.name))
+        for index, entry in enumerate(catalog["tables"]):
+            if not isinstance(entry, dict):
+                raise SchemaError(
+                    f"{catalog_path.name}: tables[{index}] must be an "
+                    f"object, got {type(entry).__name__}"
+                )
+            try:
+                name = entry["name"]
+                attributes = entry["attributes"]
+            except KeyError as exc:
+                raise SchemaError(
+                    f"{catalog_path.name}: tables[{index}] is missing "
+                    f"the {exc.args[0]!r} field (need 'name' and "
+                    "'attributes')"
+                ) from exc
+            database.create_table(name, attributes, key=entry.get("key"))
+            _load_rows(database, name, path)
         return database
     # schema-less directory: infer from CSV headers
     database = Database(path.name)
@@ -93,21 +117,41 @@ def _load_rows(database: Database, table_name: str, path: Path) -> None:
     table = database.table(table_name)
     with open(csv_path, newline="") as handle:
         reader = csv.reader(handle)
-        header = next(reader, None)
-        if header is None:
-            return
-        unknown = set(header) - set(table.schema.attributes)
-        if unknown:
+        try:
+            header = next(reader, None)
+            if header is None:
+                return
+            unknown = set(header) - set(table.schema.attributes)
+            if unknown:
+                raise SchemaError(
+                    f"{csv_path.name} has columns {sorted(unknown)} not in "
+                    f"the declared schema of {table_name!r}"
+                )
+            for lineno, line in enumerate(reader, start=2):
+                fault_point("csv.row")
+                if not line:
+                    continue  # csv yields [] for blank lines
+                if len(line) != len(header):
+                    raise SchemaError(
+                        f"{csv_path.name}:{lineno}: expected "
+                        f"{len(header)} fields, got {len(line)}"
+                    )
+                values = {
+                    attribute: _parse(text)
+                    for attribute, text in zip(header, line)
+                }
+                try:
+                    table.insert(**values)
+                except SchemaError:
+                    raise
+                except ReproError as exc:
+                    raise SchemaError(
+                        f"{csv_path.name}:{lineno}: {exc}"
+                    ) from exc
+        except csv.Error as exc:
             raise SchemaError(
-                f"{csv_path.name} has columns {sorted(unknown)} not in "
-                f"the declared schema of {table_name!r}"
-            )
-        for line in reader:
-            values = {
-                attribute: _parse(text)
-                for attribute, text in zip(header, line)
-            }
-            table.insert(**values)
+                f"{csv_path.name}: malformed CSV: {exc}"
+            ) from exc
 
 
 def _render(value: Value) -> str:

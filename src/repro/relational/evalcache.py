@@ -33,6 +33,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from ..errors import ConfigurationError
+from ..robustness.faults import fault_point
 from .algebra import Query, query_fingerprint
 from .evaluator import EvaluationResult, evaluate
 from .instance import DatabaseInstance
@@ -83,7 +85,7 @@ class EvaluationCache:
 
     def __post_init__(self) -> None:
         if self.maxsize < 1:
-            raise ValueError("cache maxsize must be at least 1")
+            raise ConfigurationError("cache maxsize must be at least 1")
         self._entries: OrderedDict[tuple, EvaluationResult] = OrderedDict()
 
     # ------------------------------------------------------------------
@@ -113,7 +115,15 @@ class EvaluationCache:
         :func:`~repro.relational.evaluator.evaluate`) and the result
         retained.  On a hit against a structurally equal but distinct
         tree object, the result is re-keyed onto the caller's nodes.
+
+        Aborted evaluations never pollute the cache: ``evaluate`` may
+        raise (budget exhaustion, injected fault) *before* the entry is
+        stored, so every retained result is complete and the counters
+        stay consistent -- an aborted miss is a miss without an
+        evaluation, and a fault at the store site drops the entry but
+        keeps the evaluation count honest.
         """
+        fault_point("cache.lookup")
         key = self.key_for(root, instance, aliases)
         cached = self._entries.get(key)
         if cached is not None:
@@ -125,6 +135,7 @@ class EvaluationCache:
         self.stats.misses += 1
         result = evaluate(root, instance)
         self.stats.evaluations += 1
+        fault_point("cache.store")
         self._entries[key] = result
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
@@ -134,6 +145,22 @@ class EvaluationCache:
     def peek(self, key: tuple) -> EvaluationResult | None:
         """The entry under *key*, without touching LRU order or stats."""
         return self._entries.get(key)
+
+    def check_invariants(self) -> None:
+        """Assert the cache is in a consistent, uncorrupted state.
+
+        Used by the chaos suite after every seeded fault plan: counter
+        arithmetic must add up, the LRU bound must hold, and every
+        retained entry must be *complete* (all nodes of its tree were
+        evaluated -- no partial result survived an aborted run).
+        Raises :class:`AssertionError` on violation.
+        """
+        assert self.stats.lookups == self.stats.hits + self.stats.misses
+        assert 0 <= self.stats.evaluations <= self.stats.misses
+        assert len(self._entries) <= self.maxsize
+        for entry in self._entries.values():
+            for node in entry.root.postorder():
+                entry.output(node)  # raises EvaluationError if missing
 
     def clear(self) -> None:
         """Drop all entries (counters are kept; use ``stats.reset()``)."""

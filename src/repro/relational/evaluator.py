@@ -14,6 +14,8 @@ from __future__ import annotations
 from typing import Iterator, Mapping, Sequence
 
 from ..errors import EvaluationError, UnknownRelationError
+from ..robustness.budget import current_context
+from ..robustness.faults import fault_point
 from .algebra import Query, RelationLeaf, validate_tree
 from .instance import DatabaseInstance, query_input_instance
 from .tuples import Tuple, Value
@@ -137,7 +139,14 @@ def evaluate(root: Query, instance: DatabaseInstance) -> EvaluationResult:
     """
     validate_tree(root)
     result = EvaluationResult(root)
+    context = current_context()
     for node in root.postorder():
+        # Cooperative budget tick per operator: a deadline or row limit
+        # stops the bottom-up pass between manipulations (the
+        # comparison ticks inside Join/Select bound work *within* one).
+        fault_point("operator.apply")
+        if context is not None:
+            context.check_deadline()
         if isinstance(node, RelationLeaf):
             try:
                 stored = list(instance.relation(node.alias))
@@ -151,6 +160,8 @@ def evaluate(root: Query, instance: DatabaseInstance) -> EvaluationResult:
             inputs = [list(result.output(child)) for child in node.children]
         output = node.apply(inputs)
         result.set_node(node, inputs, output)
+        if context is not None:
+            context.tick_rows(len(output))
     return result
 
 

@@ -1,0 +1,64 @@
+"""Robustness subsystem: execution budgets, fault isolation, chaos.
+
+Production why-not services must fail cleanly and degrade gracefully
+(cf. PUG's middleware engineering and the bounded-effort summaries of
+Lee et al. 2020).  This package provides the three pieces:
+
+* :mod:`~repro.robustness.budget` -- :class:`Budget` /
+  :class:`ExecutionContext`: cooperative wall-clock / row / comparison
+  limits threaded through every execution layer; exhaustion raises
+  :class:`~repro.errors.BudgetExceededError` and NedExplain turns it
+  into an explicit *degraded* report instead of nothing;
+* :mod:`~repro.robustness.outcomes` -- :class:`QuestionOutcome` /
+  :class:`FailureInfo`: the total, per-question result type of
+  fault-isolated batches (``NedExplain.explain_each`` /
+  ``repro.explain_batch``);
+* :mod:`~repro.robustness.faults` -- :class:`FaultPlan` and the
+  :func:`fault_point` sites: deterministic, seedable fault injection
+  used by the chaos test suite to prove failure containment.
+"""
+
+from ..errors import (
+    BatchError,
+    BudgetExceededError,
+    ConfigurationError,
+    InjectedFaultError,
+)
+from .budget import (
+    Budget,
+    BudgetSpent,
+    ExecutionContext,
+    current_context,
+    execution_context,
+)
+from .faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    fault_point,
+    inject,
+)
+from .outcomes import FailureInfo, QuestionOutcome
+
+__all__ = [
+    "BatchError",
+    "Budget",
+    "BudgetExceededError",
+    "BudgetSpent",
+    "ConfigurationError",
+    "ExecutionContext",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FailureInfo",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFaultError",
+    "QuestionOutcome",
+    "active_plan",
+    "current_context",
+    "execution_context",
+    "fault_point",
+    "inject",
+]

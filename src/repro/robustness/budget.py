@@ -1,0 +1,187 @@
+"""Execution budgets and the cooperative :class:`ExecutionContext`.
+
+Algorithm 1's full-tree evaluation is exactly where runaway joins blow
+up: a single oversized intermediate result can stall a whole batch of
+why-not questions.  This module bounds that risk the way provenance
+middleware does it in practice (PUG's fail-clean engineering; the
+bounded-effort, degraded summaries of Lee et al. 2020): an explicit
+:class:`Budget` -- wall-clock deadline, max intermediate rows, max
+tuple comparisons -- carried by an :class:`ExecutionContext` that the
+execution layers tick cooperatively:
+
+* the evaluator ticks ``rows`` once per operator output
+  (:func:`repro.relational.evaluator.evaluate`);
+* the join / selection / aggregation loops and the compatible-set and
+  successor computations tick ``comparisons`` in small batches, which
+  also bounds runaway work *inside* a single operator;
+* every tick cheaply checks the deadline (comparisons are throttled to
+  one clock read per :data:`DEADLINE_CHECK_EVERY` ticks).
+
+Budget exhaustion raises
+:class:`~repro.errors.BudgetExceededError` at the next tick -- the
+granularity is cooperative, not preemptive -- carrying a
+:class:`BudgetSpent` snapshot so callers can report how much work the
+degraded answer consumed.
+
+The context is ambient (a :class:`contextvars.ContextVar`) so that the
+deep operator loops need no signature changes: wrap any library call in
+:func:`execution_context` and the ticks below it are accounted::
+
+    with execution_context(ExecutionContext(Budget(max_rows=10_000))):
+        result = evaluate_query(root, database)
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import BudgetExceededError, ConfigurationError
+
+#: How many comparison ticks may pass between two wall-clock reads.
+DEADLINE_CHECK_EVERY = 1024
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Limits for one unit of work (one why-not question, typically).
+
+    ``None`` disables the corresponding limit; the default budget is
+    unlimited, so threading a context through fault-free code changes
+    nothing observably.
+    """
+
+    #: wall-clock seconds from context creation
+    deadline_s: float | None = None
+    #: total intermediate rows produced across all operators
+    max_rows: int | None = None
+    #: total tuple comparisons (join probes, selections, compatibility
+    #: and successor checks)
+    max_comparisons: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("deadline_s", "max_rows", "max_comparisons"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigurationError(
+                    f"budget {name} must be positive, got {value!r}"
+                )
+
+    @property
+    def is_unlimited(self) -> bool:
+        return (
+            self.deadline_s is None
+            and self.max_rows is None
+            and self.max_comparisons is None
+        )
+
+
+@dataclass(frozen=True)
+class BudgetSpent:
+    """Snapshot of the work charged to one :class:`ExecutionContext`."""
+
+    elapsed_s: float
+    rows: int
+    comparisons: int
+
+    def __repr__(self) -> str:
+        return (
+            f"BudgetSpent(elapsed_s={self.elapsed_s:.3f}, "
+            f"rows={self.rows}, comparisons={self.comparisons})"
+        )
+
+
+class ExecutionContext:
+    """Mutable accounting for one budgeted unit of work.
+
+    Not thread-safe; create one context per question.  The ``phase``
+    attribute is advisory: NedExplain keeps it pointing at the Fig. 5
+    phase currently running so failure outcomes can report where the
+    budget ran out.
+    """
+
+    def __init__(self, budget: Budget | None = None):
+        self.budget = budget if budget is not None else Budget()
+        self.started = time.monotonic()
+        self.rows = 0
+        self.comparisons = 0
+        self.phase: str | None = None
+        self._ticks_since_clock = 0
+
+    def spent(self) -> BudgetSpent:
+        return BudgetSpent(
+            elapsed_s=time.monotonic() - self.started,
+            rows=self.rows,
+            comparisons=self.comparisons,
+        )
+
+    # ------------------------------------------------------------------
+    # Cooperative ticks
+    # ------------------------------------------------------------------
+    def tick_rows(self, n: int) -> None:
+        """Charge *n* produced intermediate rows."""
+        self.rows += n
+        limit = self.budget.max_rows
+        if limit is not None and self.rows > limit:
+            self._exhaust("rows", f"{self.rows} rows > limit {limit}")
+        self.check_deadline()
+
+    def tick_comparisons(self, n: int) -> None:
+        """Charge *n* tuple comparisons (throttled deadline check)."""
+        self.comparisons += n
+        limit = self.budget.max_comparisons
+        if limit is not None and self.comparisons > limit:
+            self._exhaust(
+                "comparisons",
+                f"{self.comparisons} comparisons > limit {limit}",
+            )
+        self._ticks_since_clock += n
+        if self._ticks_since_clock >= DEADLINE_CHECK_EVERY:
+            self._ticks_since_clock = 0
+            self.check_deadline()
+
+    def check_deadline(self) -> None:
+        deadline = self.budget.deadline_s
+        if deadline is None:
+            return
+        elapsed = time.monotonic() - self.started
+        if elapsed > deadline:
+            self._exhaust(
+                "deadline", f"{elapsed:.3f}s > deadline {deadline}s"
+            )
+
+    def _exhaust(self, resource: str, detail: str) -> None:
+        raise BudgetExceededError(
+            f"execution budget exhausted ({resource}): {detail}",
+            resource=resource,
+            spent=self.spent(),
+            phase=self.phase,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Ambient context
+# ---------------------------------------------------------------------------
+_CURRENT: ContextVar[ExecutionContext | None] = ContextVar(
+    "repro_execution_context", default=None
+)
+
+
+def current_context() -> ExecutionContext | None:
+    """The ambient :class:`ExecutionContext`, or ``None``."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def execution_context(
+    context: ExecutionContext,
+) -> Iterator[ExecutionContext]:
+    """Install *context* as the ambient execution context."""
+    token = _CURRENT.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT.reset(token)

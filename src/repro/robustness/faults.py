@@ -1,0 +1,181 @@
+"""Deterministic fault injection for the chaos test suite.
+
+A :class:`FaultPlan` decides, ahead of time and purely from a seed, at
+which invocation of which named *site* an exception fires.  The
+execution layers call :func:`fault_point` at their instrumented sites;
+when no plan is installed the call is a single ``is None`` check, so
+production runs pay nothing.
+
+Instrumented sites (:data:`FAULT_SITES`):
+
+``operator.apply``
+    just before each operator evaluation in
+    :func:`repro.relational.evaluator.evaluate`;
+``cache.lookup`` / ``cache.store``
+    around :meth:`repro.relational.evalcache.EvaluationCache.get_or_evaluate`
+    -- the store site fires *after* evaluation but *before* the entry
+    is retained, proving the cache never keeps partial results;
+``csv.row``
+    per data row in :func:`repro.relational.csv_io.load_database`;
+``compatible.find``
+    per c-tuple in
+    :meth:`repro.core.compatibility.CompatibleFinder.find`.
+
+Plans inject either an :class:`~repro.errors.InjectedFaultError`
+(``kind="error"``) or a synthetic
+:class:`~repro.errors.BudgetExceededError` (``kind="budget"``), so the
+chaos suite exercises both failure containment and budgeted
+degradation from the same harness.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..errors import (
+    BudgetExceededError,
+    ConfigurationError,
+    InjectedFaultError,
+)
+
+#: Every site wired with a :func:`fault_point` call.
+FAULT_SITES: tuple[str, ...] = (
+    "operator.apply",
+    "cache.lookup",
+    "cache.store",
+    "csv.row",
+    "compatible.find",
+)
+
+#: The two injectable failure kinds.
+FAULT_KINDS: tuple[str, ...] = ("error", "budget")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fire once: at the ``at_call``-th invocation (0-based) of *site*."""
+
+    site: str
+    at_call: int
+    kind: str = "error"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose from {FAULT_KINDS}"
+            )
+        if self.at_call < 0:
+            raise ConfigurationError(
+                f"at_call must be >= 0, got {self.at_call}"
+            )
+
+    def build_error(self) -> Exception:
+        if self.kind == "budget":
+            return BudgetExceededError(
+                f"injected budget exhaustion at {self.site}"
+                f"#{self.at_call}",
+                resource="injected",
+            )
+        return InjectedFaultError(
+            f"injected fault at {self.site}#{self.at_call}",
+            site=self.site,
+            call_index=self.at_call,
+        )
+
+
+class FaultPlan:
+    """A deterministic schedule of faults over the named sites.
+
+    ``calls`` counts every :func:`fault_point` invocation per site and
+    ``fired`` records the specs that actually triggered, so tests can
+    assert both coverage (the plan was reachable) and determinism (two
+    runs of the same seed fire identically).
+    """
+
+    def __init__(
+        self, specs: Iterable[FaultSpec] = (), seed: int | None = None
+    ):
+        self.specs = tuple(specs)
+        self.seed = seed
+        self._by_site: dict[str, dict[int, FaultSpec]] = {}
+        for spec in self.specs:
+            self._by_site.setdefault(spec.site, {})[spec.at_call] = spec
+        self.calls: dict[str, int] = {}
+        self.fired: list[FaultSpec] = []
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        sites: Sequence[str] = FAULT_SITES,
+        faults: int = 1,
+        max_call: int = 12,
+        budget_rate: float = 0.3,
+    ) -> "FaultPlan":
+        """A seeded plan: *faults* specs drawn uniformly over *sites*
+        and call indexes ``[0, max_call)``; a ``budget_rate`` fraction
+        injects budget exhaustion instead of a hard error."""
+        rng = random.Random(seed)
+        specs = []
+        for _ in range(faults):
+            specs.append(
+                FaultSpec(
+                    site=rng.choice(list(sites)),
+                    at_call=rng.randrange(max_call),
+                    kind="budget"
+                    if rng.random() < budget_rate
+                    else "error",
+                )
+            )
+        return cls(specs, seed=seed)
+
+    def fire(self, site: str) -> None:
+        """Count one invocation of *site*; raise if a spec matches."""
+        index = self.calls.get(site, 0)
+        self.calls[site] = index + 1
+        spec = self._by_site.get(site, {}).get(index)
+        if spec is not None:
+            self.fired.append(spec)
+            raise spec.build_error()
+
+    def reset(self) -> None:
+        """Forget all call counts and fired records (reuse a plan)."""
+        self.calls = {}
+        self.fired = []
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, specs={list(self.specs)!r}, "
+            f"fired={len(self.fired)})"
+        )
+
+
+#: The currently installed plan (module-global: the chaos suite is
+#: single-threaded; production code never installs one).
+_ACTIVE: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    return _ACTIVE
+
+
+def fault_point(site: str) -> None:
+    """Instrumentation hook: no-op unless a plan is installed."""
+    if _ACTIVE is not None:
+        _ACTIVE.fire(site)
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install *plan* for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous

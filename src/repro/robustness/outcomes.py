@@ -1,0 +1,112 @@
+"""Per-question outcomes of a fault-isolated batch.
+
+``explain_many``'s contract before this module was all-or-nothing: one
+bad question -- an oversized join, an unsupported query class, a
+corrupted input -- took the whole batch down with it.  A
+:class:`QuestionOutcome` makes the batch total instead: every question
+resolves to either a report or a structured :class:`FailureInfo`
+(error class, phase, budget spent), in question order, always N
+outcomes for N questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ReproError
+from .budget import BudgetSpent
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.core
+    from ..core.answers import NedExplainReport
+
+
+@dataclass(frozen=True)
+class FailureInfo:
+    """Structured description of one failed question."""
+
+    #: class name of the :class:`~repro.errors.ReproError` subclass
+    error_class: str
+    message: str
+    #: Fig. 5 phase active when the failure surfaced, if known
+    phase: str | None = None
+    #: budget charged to the question before it failed, if tracked
+    spent: BudgetSpent | None = None
+
+    @classmethod
+    def from_error(
+        cls,
+        error: BaseException,
+        phase: str | None = None,
+        spent: BudgetSpent | None = None,
+    ) -> "FailureInfo":
+        return cls(
+            error_class=type(error).__name__,
+            message=str(error),
+            phase=phase if phase is not None else getattr(
+                error, "phase", None
+            ),
+            spent=spent if spent is not None else getattr(
+                error, "spent", None
+            ),
+        )
+
+    def describe(self) -> str:
+        parts = [f"{self.error_class}: {self.message}"]
+        if self.phase:
+            parts.append(f"phase={self.phase}")
+        if self.spent is not None:
+            parts.append(
+                f"spent rows={self.spent.rows} "
+                f"comparisons={self.spent.comparisons} "
+                f"elapsed={self.spent.elapsed_s:.3f}s"
+            )
+        return " | ".join(parts)
+
+
+@dataclass(frozen=True)
+class QuestionOutcome:
+    """Resolution of one question of a batch: report or failure."""
+
+    question: Any
+    report: "NedExplainReport | None" = None
+    failure: FailureInfo | None = None
+    #: the original exception, for callers that want to re-raise
+    error: ReproError | None = None
+
+    def __post_init__(self) -> None:
+        if (self.report is None) == (self.failure is None):
+            raise ValueError(
+                "a QuestionOutcome carries exactly one of report / "
+                "failure"
+            )
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    @property
+    def partial(self) -> bool:
+        """True for a degraded (budget-exhausted) but usable report."""
+        return self.report is not None and bool(
+            getattr(self.report, "partial", False)
+        )
+
+    def unwrap(self) -> "NedExplainReport":
+        """The report, or re-raise the question's original error."""
+        if self.report is not None:
+            return self.report
+        if self.error is not None:
+            raise self.error
+        assert self.failure is not None
+        raise ReproError(self.failure.describe())
+
+    def __repr__(self) -> str:
+        if self.ok:
+            flag = " (partial)" if self.partial else ""
+            return f"QuestionOutcome(ok{flag}, {self.question!r})"
+        assert self.failure is not None
+        return (
+            f"QuestionOutcome(failed {self.failure.error_class}, "
+            f"{self.question!r})"
+        )

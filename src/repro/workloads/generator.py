@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import random
 
+from ..errors import ConfigurationError
 from ..relational.database import Database
 from ..core.canonical import JoinPair, SPJASpec
 
@@ -37,7 +38,7 @@ def chain_database(
     non-trivially missing answer.
     """
     if relations < 2:
-        raise ValueError("a chain needs at least two relations")
+        raise ConfigurationError("a chain needs at least two relations")
     rng = random.Random(seed)
     db = Database("chain")
     for index in range(relations):

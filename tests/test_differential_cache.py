@@ -200,6 +200,60 @@ def test_baseline_cached_matches_uncached(use_case):
     assert cache.stats.hits >= 1
 
 
+# ---------------------------------------------------------------------------
+# Fault isolation: a failing question must not perturb the others
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("query", sorted(QUERY_GROUPS))
+@pytest.mark.parametrize("failing_index", [0, -1])
+def test_faulty_batch_keeps_other_reports_identical(query, failing_index):
+    """N questions with question k failing still yield N outcomes, and
+    every non-failing report is fingerprint-identical to the fault-free
+    batch (the acceptance criterion of the robustness PR)."""
+    from repro.robustness import FaultPlan, FaultSpec, inject
+
+    cases = QUERY_GROUPS[query]
+    database = get_database(cases[0].database)
+    canonical = get_canonical(query)
+    predicates = [uc.predicate for uc in cases]
+
+    fault_free = NedExplain(
+        canonical, database=database, cache=EvaluationCache()
+    ).explain_each(predicates)
+    assert all(outcome.ok for outcome in fault_free)
+
+    k = failing_index % len(predicates)
+    # one compatible.find call per c-tuple: count the calls the first
+    # k questions consume so the fault lands inside question k
+    probe = FaultPlan([])
+    engine = NedExplain(
+        canonical, database=database, cache=EvaluationCache()
+    )
+    with inject(probe):
+        engine.explain_each(predicates[:k])
+    at_call = probe.calls.get("compatible.find", 0)
+
+    plan = FaultPlan([FaultSpec("compatible.find", at_call=at_call)])
+    faulty_engine = NedExplain(
+        canonical, database=database, cache=EvaluationCache()
+    )
+    with inject(plan):
+        outcomes = faulty_engine.explain_each(predicates)
+
+    assert len(outcomes) == len(predicates)
+    assert plan.fired, "the injected fault never triggered"
+    assert not outcomes[k].ok
+    assert outcomes[k].failure.error_class == "InjectedFaultError"
+    for index, outcome in enumerate(outcomes):
+        if index == k:
+            continue
+        assert outcome.ok
+        assert report_fingerprint(outcome.report) == report_fingerprint(
+            fault_free[index].report
+        ), f"question {index} perturbed by failure of question {k}"
+
+
 def test_nedexplain_and_baseline_share_one_evaluation():
     """The README's batch story: both algorithms, one evaluation."""
     uc = next(u for u in USE_CASES if u.name == "Crime1")

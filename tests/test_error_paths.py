@@ -1,0 +1,288 @@
+"""Error-path coverage: SQL positions, malformed CSV/catalogs, CLI codes.
+
+The robustness contract at the edges of the library:
+
+* the SQL frontend reports *where* the input broke
+  (:attr:`~repro.errors.SqlSyntaxError.position`);
+* :func:`~repro.relational.csv_io.load_database` wraps every stdlib
+  failure mode (bad JSON, malformed catalog entries, bad row arity,
+  malformed CSV) in :class:`~repro.errors.SchemaError` with file/line
+  context -- a corrupt data directory never leaks a ``KeyError`` or
+  ``JSONDecodeError`` traceback;
+* the CLI exits 0 on success, 2 on a fatal :class:`ReproError`, and 3
+  when the run completed but degraded (batch failures / partial
+  budget-limited answers).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_DEGRADED, EXIT_ERROR, EXIT_OK, main
+from repro.errors import ReproError, SchemaError, SqlSyntaxError
+from repro.relational import Database
+from repro.relational.csv_io import load_database, save_database
+from repro.relational.sql import sql_to_canonical
+
+
+@pytest.fixture()
+def schema_db():
+    db = Database()
+    db.create_table("A", ["aid", "name", "dob"], key="aid")
+    db.insert("A", aid="a1", name="Homer", dob=-800)
+    db.insert("A", aid="a2", name="Sophocles", dob=-400)
+    return db
+
+
+# ---------------------------------------------------------------------------
+# SqlSyntaxError positions
+# ---------------------------------------------------------------------------
+class TestSqlPositions:
+    @pytest.mark.parametrize(
+        "sql, offset",
+        [
+            ("SELEKT A.name FROM A", 0),
+            ("SELECT A.name FORM A", 14),
+            ("SELECT A.name FROM A WHERE", 26),
+            ("SELECT @ FROM A", 7),
+        ],
+    )
+    def test_position_points_at_the_break(self, schema_db, sql, offset):
+        with pytest.raises(SqlSyntaxError) as info:
+            sql_to_canonical(sql, schema_db.schema)
+        assert info.value.position == offset
+        assert f"(at offset {offset})" in str(info.value)
+
+    def test_sql_errors_are_repro_errors(self, schema_db):
+        with pytest.raises(ReproError):
+            sql_to_canonical("not sql at all", schema_db.schema)
+
+
+# ---------------------------------------------------------------------------
+# load_database: malformed catalogs and CSVs
+# ---------------------------------------------------------------------------
+class TestLoadDatabaseErrors:
+    def _write_catalog(self, path, payload):
+        path.mkdir(parents=True, exist_ok=True)
+        target = path / "_schema.json"
+        if isinstance(payload, str):
+            target.write_text(payload)
+        else:
+            target.write_text(json.dumps(payload))
+        return path
+
+    def test_invalid_json_catalog(self, tmp_path):
+        self._write_catalog(tmp_path / "db", "{not json")
+        with pytest.raises(SchemaError) as info:
+            load_database(tmp_path / "db")
+        message = str(info.value)
+        assert "_schema.json" in message
+        assert "line 1" in message  # JSONDecodeError context preserved
+
+    def test_catalog_must_be_object_with_tables(self, tmp_path):
+        self._write_catalog(tmp_path / "db", ["not", "an", "object"])
+        with pytest.raises(SchemaError) as info:
+            load_database(tmp_path / "db")
+        assert "'tables'" in str(info.value)
+
+    def test_catalog_entry_must_be_object(self, tmp_path):
+        self._write_catalog(
+            tmp_path / "db", {"name": "x", "tables": ["oops"]}
+        )
+        with pytest.raises(SchemaError) as info:
+            load_database(tmp_path / "db")
+        assert "tables[0]" in str(info.value)
+
+    def test_catalog_entry_missing_field(self, tmp_path):
+        self._write_catalog(
+            tmp_path / "db",
+            {"name": "x", "tables": [{"attributes": ["id"]}]},
+        )
+        with pytest.raises(SchemaError) as info:
+            load_database(tmp_path / "db")
+        message = str(info.value)
+        assert "tables[0]" in message and "'name'" in message
+
+    def test_row_arity_mismatch_reports_file_and_line(self, tmp_path):
+        directory = self._write_catalog(
+            tmp_path / "db",
+            {
+                "name": "x",
+                "tables": [
+                    {"name": "T", "attributes": ["id", "v"], "key": None}
+                ],
+            },
+        )
+        (directory / "T.csv").write_text("id,v\n1,a\n2,b,EXTRA\n")
+        with pytest.raises(SchemaError) as info:
+            load_database(directory)
+        message = str(info.value)
+        assert "T.csv:3" in message
+        assert "expected 2 fields, got 3" in message
+
+    def test_unknown_columns_rejected(self, tmp_path):
+        directory = self._write_catalog(
+            tmp_path / "db",
+            {
+                "name": "x",
+                "tables": [
+                    {"name": "T", "attributes": ["id"], "key": None}
+                ],
+            },
+        )
+        (directory / "T.csv").write_text("id,ghost\n1,boo\n")
+        with pytest.raises(SchemaError) as info:
+            load_database(directory)
+        assert "ghost" in str(info.value)
+
+    def test_malformed_csv_quoting(self, tmp_path):
+        directory = tmp_path / "db"
+        directory.mkdir()
+        (directory / "T.csv").write_text('id,v\n1,"unclosed\nnext,row\n')
+        # csv.Error (unterminated quote mid-stream) must surface as
+        # SchemaError, never a bare stdlib exception
+        try:
+            load_database(directory)
+        except SchemaError:
+            pass
+
+    def test_duplicate_key_reports_line(self, tmp_path):
+        directory = self._write_catalog(
+            tmp_path / "db",
+            {
+                "name": "x",
+                "tables": [
+                    {"name": "T", "attributes": ["id", "v"], "key": "id"}
+                ],
+            },
+        )
+        (directory / "T.csv").write_text("id,v\n1,a\n1,b\n")
+        with pytest.raises(SchemaError) as info:
+            load_database(directory)
+        assert "T.csv:3" in str(info.value)
+
+    def test_all_load_errors_are_repro_errors(self, tmp_path):
+        """The one-except contract: nothing below ReproError leaks."""
+        bad_payloads = [
+            "{broken",
+            {"tables": "nope"},
+            {"tables": [{"name": "T"}]},
+            {"tables": [None]},
+        ]
+        for index, payload in enumerate(bad_payloads):
+            directory = self._write_catalog(
+                tmp_path / f"db{index}", payload
+            )
+            with pytest.raises(ReproError):
+                load_database(directory)
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes
+# ---------------------------------------------------------------------------
+class TestCliExitCodes:
+    @pytest.fixture()
+    def data_dir(self, schema_db, tmp_path):
+        save_database(schema_db, tmp_path / "db")
+        return str(tmp_path / "db")
+
+    SQL = "SELECT A.name FROM A WHERE A.dob > -800"
+
+    def test_success_exits_zero(self, data_dir, capsys):
+        code = main(
+            [
+                "explain",
+                "--data", data_dir,
+                "--sql", self.SQL,
+                "--why-not", "(A.name: Homer)",
+            ]
+        )
+        assert code == EXIT_OK
+        assert "NedExplain" in capsys.readouterr().out
+
+    def test_fatal_error_exits_two(self, tmp_path, capsys):
+        code = main(
+            [
+                "explain",
+                "--data", str(tmp_path / "missing"),
+                "--sql", self.SQL,
+                "--why-not", "(A.name: Homer)",
+            ]
+        )
+        assert code == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_sql_syntax_error_exits_two(self, data_dir, capsys):
+        code = main(
+            [
+                "explain",
+                "--data", data_dir,
+                "--sql", "SELEKT oops",
+                "--why-not", "(A.name: Homer)",
+            ]
+        )
+        assert code == EXIT_ERROR
+        assert "offset" in capsys.readouterr().err
+
+    def test_degraded_budget_exits_three(self, data_dir, capsys):
+        code = main(
+            [
+                "explain",
+                "--data", data_dir,
+                "--sql", self.SQL,
+                "--why-not", "(A.name: Homer)",
+                "--max-comparisons", "1",
+            ]
+        )
+        assert code == EXIT_DEGRADED
+        assert "PARTIAL RESULT" in capsys.readouterr().out
+
+    def test_batch_isolates_bad_question(self, data_dir, capsys):
+        """Satellite fix: a failing question must not drop the answers
+        of the remaining questions."""
+        code = main(
+            [
+                "explain",
+                "--data", data_dir,
+                "--sql", self.SQL,
+                "--why-not", "(A.name: Homer)",
+                "--why-not", "(Nope.x: 1)",
+                "--why-not", "(A.name: Vergil)",
+            ]
+        )
+        assert code == EXIT_DEGRADED
+        out = capsys.readouterr().out
+        # all three questions got an outcome, in order
+        assert out.index("(A.name: Homer)") < out.index("(Nope.x: 1)")
+        assert out.index("(Nope.x: 1)") < out.index("(A.name: Vergil)")
+        assert "FAILED: WhyNotQuestionError" in out
+        assert "batch: 3 question(s)" in out
+
+    def test_batch_all_good_exits_zero(self, data_dir, capsys):
+        code = main(
+            [
+                "explain",
+                "--data", data_dir,
+                "--sql", self.SQL,
+                "--why-not", "(A.name: Homer)",
+                "--why-not", "(A.name: Vergil)",
+            ]
+        )
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "batch: 2 question(s)" in out
+
+    def test_bad_budget_flag_exits_two(self, data_dir, capsys):
+        code = main(
+            [
+                "explain",
+                "--data", data_dir,
+                "--sql", self.SQL,
+                "--why-not", "(A.name: Homer)",
+                "--timeout", "-1",
+            ]
+        )
+        assert code == EXIT_ERROR
+        assert "must be positive" in capsys.readouterr().err

@@ -21,7 +21,7 @@ import weakref
 import pytest
 
 from repro.core import JoinPair, SPJASpec, canonicalize
-from repro.errors import EvaluationError
+from repro.errors import ConfigurationError, EvaluationError
 from repro.relational import (
     CacheStats,
     Database,
@@ -102,7 +102,7 @@ def test_hit_refreshes_lru_position():
 
 
 def test_maxsize_must_be_positive():
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigurationError):
         EvaluationCache(maxsize=0)
 
 

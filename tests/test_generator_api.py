@@ -4,6 +4,7 @@ public API surface."""
 import pytest
 
 from repro.core import CTuple, canonical_from_tree, nedexplain
+from repro.errors import ConfigurationError
 from repro.core.canonical import canonicalize
 from repro.relational import (
     Aggregate,
@@ -47,7 +48,7 @@ class TestChainWorkload:
         assert entry.subquery.op == "join"
 
     def test_too_short_chain_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             chain_database(1, rows_per_relation=5)
 
     def test_scaled_database_dispatch(self):
