@@ -11,7 +11,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import PhaseAccumulator, render_fig5, run_use_case
+from repro.bench import (
+    PhaseAccumulator,
+    phases_payload,
+    render_fig5,
+    run_use_case,
+    write_bench_artifact,
+    write_sample_trace,
+)
 from repro.core import NedExplain
 from repro.workloads import USE_CASES, use_case_setup
 
@@ -45,3 +52,5 @@ def test_register_figure(benchmark):
         "Fig. 5: % time distribution over NedExplain phases",
         render_fig5(results),
     )
+    write_bench_artifact("phases", phases_payload(results))
+    write_sample_trace()

@@ -14,7 +14,10 @@ Provenance with NedExplain"* (Bidoit, Herschel, Tzompanaki, EDBT 2014):
 * :mod:`repro.workloads` -- the crime / imdb / gov evaluation
   databases, queries Q1-Q12 and use cases of Tables 3-4;
 * :mod:`repro.bench` -- the harness regenerating Table 5 and
-  Figures 5-6.
+  Figures 5-6, plus the machine-readable ``BENCH_*.json`` artifacts;
+* :mod:`repro.obs` -- zero-dependency tracing and metrics
+  (span trees over the Fig. 5 phases, operator cardinalities, cache
+  and budget counters) with JSON-lines / Chrome-trace exporters.
 
 Quick start::
 
@@ -29,7 +32,7 @@ Quick start::
     print(report.summary())
 """
 
-from . import baseline, bench, core, relational, robustness, workloads
+from . import baseline, bench, core, obs, relational, robustness, workloads
 from .core import (
     CanonicalQuery,
     CTuple,
@@ -52,6 +55,17 @@ from .errors import (
     BudgetExceededError,
     ConfigurationError,
     ReproError,
+)
+from .obs import (
+    ManualClock,
+    MetricsRegistry,
+    Tracer,
+    current_tracer,
+    render_trace,
+    tracing,
+    use_clock,
+    write_chrome_trace,
+    write_trace_jsonl,
 )
 from .robustness import (
     Budget,
@@ -166,6 +180,8 @@ __all__ = [
     "FailureInfo",
     "FaultPlan",
     "JoinPair",
+    "ManualClock",
+    "MetricsRegistry",
     "NedExplain",
     "NedExplainConfig",
     "NedExplainReport",
@@ -174,6 +190,7 @@ __all__ = [
     "Renaming",
     "ReproError",
     "SPJASpec",
+    "Tracer",
     "Tuple",
     "UnionSpec",
     "attr_attr_cmp",
@@ -183,6 +200,7 @@ __all__ = [
     "canonical_from_tree",
     "canonicalize",
     "core",
+    "current_tracer",
     "evaluate_query",
     "execution_context",
     "explain_batch",
@@ -191,14 +209,20 @@ __all__ = [
     "get_default_cache",
     "load_database",
     "nedexplain",
+    "obs",
     "parse_predicate",
     "query_fingerprint",
     "relational",
+    "render_trace",
     "robustness",
     "save_database",
     "sql_to_canonical",
     "suggest_repairs",
+    "tracing",
+    "use_clock",
     "verify_repair",
     "why_not",
     "workloads",
+    "write_chrome_trace",
+    "write_trace_jsonl",
 ]

@@ -26,10 +26,10 @@ documents*, which the test suite asserts explicitly:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from ..errors import UnsupportedQueryError
+from ..obs.clock import perf_counter
 from ..robustness.budget import (
     Budget,
     ExecutionContext,
@@ -160,13 +160,13 @@ class WhyNotBaseline:
             predicate = Predicate.of(predicate)
 
         phases: dict[str, float] = {}
-        started = time.perf_counter()
+        started = perf_counter()
         items = find_unpicked_items(
             predicate, self.instance, self.canonical.root
         )
-        phases["UnpickedFinder"] = (time.perf_counter() - started) * 1000.0
+        phases["UnpickedFinder"] = (perf_counter() - started) * 1000.0
 
-        started = time.perf_counter()
+        started = perf_counter()
         # The original implementation evaluates the workflow through
         # Trio and then looks lineage up per item; we evaluate once
         # (served from the shared cache when enabled) and trace each
@@ -185,7 +185,7 @@ class WhyNotBaseline:
             tracer(self.canonical.root, result, item) for item in items
         )
         answers, satisfied = self._frontier(traces)
-        phases["Tracing"] = (time.perf_counter() - started) * 1000.0
+        phases["Tracing"] = (perf_counter() - started) * 1000.0
 
         return WhyNotBaselineReport(
             answers=answers,

@@ -1,6 +1,15 @@
 """Benchmark harness: runners, phase accounting, table/figure renderers
 for the paper's evaluation (Table 5, Fig. 5, Fig. 6)."""
 
+from .artifacts import (
+    collect_phases,
+    collect_runtime,
+    phases_payload,
+    read_bench_artifact,
+    runtime_payload,
+    write_bench_artifact,
+    write_sample_trace,
+)
 from .phases import PhaseAccumulator, dominant_phase, merge_accumulators
 from .report import (
     render_all,
@@ -15,8 +24,12 @@ from .runner import UseCaseResult, run_all, run_use_case
 __all__ = [
     "PhaseAccumulator",
     "UseCaseResult",
+    "collect_phases",
+    "collect_runtime",
     "dominant_phase",
     "merge_accumulators",
+    "phases_payload",
+    "read_bench_artifact",
     "render_all",
     "render_fig5",
     "render_fig6",
@@ -25,4 +38,7 @@ __all__ = [
     "render_table5",
     "run_all",
     "run_use_case",
+    "runtime_payload",
+    "write_bench_artifact",
+    "write_sample_trace",
 ]

@@ -18,20 +18,43 @@ Three subcommands:
 
       python -m repro.cli evaluate
 
-The CLI is a thin layer over the library; everything it prints comes
-from the public API.
+Every subcommand accepts the shared observability/output options:
+
+``--json``
+    emit one machine-readable JSON document on stdout instead of the
+    human-readable text (errors still go to stderr *and* into the
+    document, so nothing ever interleaves on stdout);
+``--trace FILE`` / ``--chrome-trace FILE``
+    run under a :class:`repro.obs.Tracer` and export the span tree as
+    a JSON-lines artifact / a ``chrome://tracing`` document;
+``--metrics``
+    report the run's metrics snapshot (cache hits, budget ticks,
+    operator cardinalities).
+
+All output flows through one :class:`OutputWriter`: human text to
+stdout, errors to stderr, the ``--json`` document as the single stdout
+payload of a structured run.  The CLI is a thin layer over the public
+API; everything it prints comes from the library.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence, TextIO
 
 from .baseline import WhyNotBaseline
 from .core import NedExplain
 from .core.repairs import suggest_repairs, verify_repair
 from .errors import ReproError, UnsupportedQueryError
+from .obs import (
+    Tracer,
+    render_trace,
+    tracing,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
 from .relational.csv_io import load_database
 from .relational.evaluator import evaluate_query
 from .relational.sql import sql_to_canonical
@@ -43,6 +66,92 @@ from .robustness import Budget
 EXIT_OK = 0
 EXIT_ERROR = 2
 EXIT_DEGRADED = 3
+
+
+class OutputWriter:
+    """The single sink for everything the CLI emits.
+
+    Text mode: ``line``/``block`` go to stdout, ``error`` to stderr.
+    JSON mode: human lines are suppressed, structured fields accumulate
+    in one document that :meth:`finish` prints as the *only* stdout
+    payload (errors are still mirrored to stderr) -- so traces,
+    metrics, reports, and errors can never interleave on stdout.
+    """
+
+    def __init__(
+        self,
+        json_mode: bool = False,
+        stdout: TextIO | None = None,
+        stderr: TextIO | None = None,
+    ):
+        self.json_mode = json_mode
+        self._stdout = stdout if stdout is not None else sys.stdout
+        self._stderr = stderr if stderr is not None else sys.stderr
+        self.document: dict[str, Any] = {}
+        self._errors: list[str] = []
+
+    # -- human text ----------------------------------------------------
+    def line(self, text: str = "") -> None:
+        if not self.json_mode:
+            print(text, file=self._stdout)
+
+    def block(self, text: str) -> None:
+        """A multi-line chunk (summaries, rendered tables)."""
+        if not self.json_mode:
+            print(text, file=self._stdout)
+
+    def error(self, text: str) -> None:
+        """Errors: stderr always, plus the JSON document in json mode."""
+        self._errors.append(text)
+        print(text, file=self._stderr)
+
+    # -- structured document -------------------------------------------
+    def set(self, key: str, value: Any) -> None:
+        if self.json_mode:
+            self.document[key] = value
+
+    def append(self, key: str, value: Any) -> None:
+        if self.json_mode:
+            self.document.setdefault(key, []).append(value)
+
+    def finish(self, exit_code: int) -> None:
+        """Emit the JSON document (json mode); a no-op in text mode."""
+        if not self.json_mode:
+            return
+        self.document["exit_code"] = exit_code
+        if self._errors:
+            self.document["errors"] = list(self._errors)
+        json.dump(self.document, self._stdout, indent=2, default=str)
+        self._stdout.write("\n")
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability and output")
+    group.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document on stdout "
+        "instead of human-readable text",
+    )
+    group.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="run under tracing and write a JSON-lines span trace",
+    )
+    group.add_argument(
+        "--chrome-trace",
+        dest="chrome_trace",
+        metavar="FILE",
+        default=None,
+        help="run under tracing and write a chrome://tracing document",
+    )
+    group.add_argument(
+        "--metrics",
+        action="store_true",
+        help="report the run's metrics snapshot (cache hits, budget "
+        "ticks, operator cardinalities)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -112,29 +221,89 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="cap on tuple comparisons performed per question",
     )
+    _add_common_options(explain)
 
     demo = commands.add_parser(
         "demo", help="run one of the paper's use cases"
     )
     demo.add_argument("use_case", help="e.g. Crime5, Imdb2, Gov7")
+    _add_common_options(demo)
 
-    commands.add_parser(
+    evaluate = commands.add_parser(
         "evaluate", help="run all use cases and print the answers table"
     )
+    _add_common_options(evaluate)
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    writer = OutputWriter(json_mode=getattr(args, "json", False))
+    writer.set("command", args.command)
+    want_tracing = bool(
+        getattr(args, "trace", None)
+        or getattr(args, "chrome_trace", None)
+        or getattr(args, "metrics", False)
+    )
+    tracer = Tracer() if want_tracing else None
+    code = EXIT_ERROR
     try:
-        if args.command == "explain":
-            return _run_explain(args)
-        if args.command == "demo":
-            return _run_demo(args)
-        return _run_evaluate()
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return EXIT_ERROR
+        try:
+            if tracer is not None:
+                with tracing(tracer):
+                    code = _dispatch(args, writer)
+            else:
+                code = _dispatch(args, writer)
+        except ReproError as exc:
+            writer.error(f"error: {exc}")
+            code = EXIT_ERROR
+        if tracer is not None:
+            _export_observability(args, tracer, writer)
+    finally:
+        writer.finish(code)
+    return code
+
+
+def _dispatch(args, writer: OutputWriter) -> int:
+    if args.command == "explain":
+        return _run_explain(args, writer)
+    if args.command == "demo":
+        return _run_demo(args, writer)
+    return _run_evaluate(writer)
+
+
+def _export_observability(
+    args, tracer: Tracer, writer: OutputWriter
+) -> None:
+    """Write the requested trace/metrics artifacts, post-run."""
+    if getattr(args, "trace", None):
+        path = write_trace_jsonl(tracer, args.trace)
+        writer.line(f"trace written to {path}")
+        writer.set("trace_file", str(path))
+    if getattr(args, "chrome_trace", None):
+        path = write_chrome_trace(tracer, args.chrome_trace)
+        writer.line(f"chrome trace written to {path}")
+        writer.set("chrome_trace_file", str(path))
+    if getattr(args, "metrics", False):
+        snapshot = tracer.metrics.snapshot()
+        writer.set("metrics", snapshot)
+        if not writer.json_mode:
+            writer.line()
+            writer.line("metrics:")
+            for name, data in snapshot.items():
+                if data["type"] == "histogram":
+                    writer.line(
+                        f"  {name}: count={data['count']} "
+                        f"sum={data['sum']:.1f} mean={data['mean']:.2f}"
+                    )
+                else:
+                    writer.line(f"  {name}: {data['value']}")
+        if writer.json_mode:
+            writer.set("trace_summary", tracer.phase_totals_ms())
+        elif not getattr(args, "trace", None):
+            writer.line()
+            writer.line("trace tree:")
+            writer.block(render_trace(tracer))
 
 
 def _budget_from(args) -> Budget | None:
@@ -152,56 +321,71 @@ def _budget_from(args) -> Budget | None:
     )
 
 
-def _run_explain(args) -> int:
+def _run_explain(args, writer: OutputWriter) -> int:
     database = load_database(args.data)
     canonical = sql_to_canonical(args.sql, database.schema)
-    print("canonical query tree:")
-    print(canonical.pretty())
-    print()
+    writer.set("sql", args.sql)
+    writer.set("canonical", canonical.pretty())
+    writer.line("canonical query tree:")
+    writer.block(canonical.pretty())
+    writer.line()
     if args.show_result:
         result = evaluate_query(
             canonical.root, database.instance(), canonical.aliases
         )
-        print("query result:")
-        for row in result.result_values():
-            print("  ", row)
-        print()
+        rows = result.result_values()
+        writer.set("query_result", rows)
+        writer.line("query result:")
+        for row in rows:
+            writer.line(f"   {row}")
+        writer.line()
 
     questions = list(args.why_not)
+    writer.set("questions", questions)
     budget = _budget_from(args)
     if args.batch or len(questions) > 1:
         return _run_explain_batch(
-            args, database, canonical, questions, budget
+            args, writer, database, canonical, questions, budget
         )
 
     engine = NedExplain(canonical, database=database)
     report = engine.explain(questions[0], budget=budget)
-    print("NedExplain:")
-    print(report.summary())
+    writer.append("reports", report.to_dict())
+    writer.line("NedExplain:")
+    writer.block(report.summary())
 
     if args.repairs:
-        print()
+        writer.line()
         suggestions = suggest_repairs(engine, report)
         if not suggestions:
-            print("no selection relaxation can unblock this answer")
+            writer.line(
+                "no selection relaxation can unblock this answer"
+            )
         for suggestion in suggestions:
-            print("repair:", verify_repair(engine, suggestion))
+            verified = verify_repair(engine, suggestion)
+            writer.append("repairs", str(verified))
+            writer.line(f"repair: {verified}")
 
     if args.baseline:
-        print()
+        writer.line()
         try:
             baseline = WhyNotBaseline(canonical, database=database)
-            print("Why-Not baseline:")
-            print(baseline.explain(questions[0]).summary())
+            summary = baseline.explain(questions[0]).summary()
+            writer.set("baseline", summary)
+            writer.line("Why-Not baseline:")
+            writer.block(summary)
         except UnsupportedQueryError as exc:
-            print(f"Why-Not baseline: n.a. ({exc})")
+            writer.set("baseline", f"n.a. ({exc})")
+            writer.line(f"Why-Not baseline: n.a. ({exc})")
     return EXIT_DEGRADED if report.partial else EXIT_OK
 
 
-def _run_explain_batch(args, database, canonical, questions, budget) -> int:
+def _run_explain_batch(
+    args, writer: OutputWriter, database, canonical, questions, budget
+) -> int:
     """Batched mode: N questions, one shared query evaluation.
 
-    Fault-isolating: every question resolves to a report or a printed
+    Fault-isolating: every question resolves to a report or a recorded
     failure; one bad question never drops the rest of the batch.  The
     exit code is 3 (not 0) when any question failed or was degraded.
     """
@@ -212,70 +396,105 @@ def _run_explain_batch(args, database, canonical, questions, budget) -> int:
     outcomes = engine.explain_each(questions, budget=budget)
     degraded = False
     for question, outcome in zip(questions, outcomes):
-        print(f"why-not {question}")
+        writer.append("outcomes", outcome.to_dict())
+        writer.line(f"why-not {question}")
         if outcome.ok:
-            print(outcome.report.summary())
+            writer.block(outcome.report.summary())
             degraded = degraded or outcome.report.partial
         else:
-            print(f"  FAILED: {outcome.failure.describe()}")
+            writer.line(f"  FAILED: {outcome.failure.describe()}")
             degraded = True
-        print()
+        writer.line()
     stats = cache.stats
-    print(
+    writer.set(
+        "batch",
+        {
+            "questions": len(questions),
+            "evaluations": stats.evaluations,
+            "hits": stats.hits,
+            "misses": stats.misses,
+        },
+    )
+    writer.line(
         f"batch: {len(questions)} question(s), "
         f"{stats.evaluations} full query evaluation(s), "
         f"{stats.hits} cache hit(s)"
     )
     if args.baseline:
-        print()
+        writer.line()
         try:
             baseline = WhyNotBaseline(
                 canonical, database=database, cache=cache
             )
         except UnsupportedQueryError as exc:
-            print(f"Why-Not baseline: n.a. ({exc})")
+            writer.set("baseline", f"n.a. ({exc})")
+            writer.line(f"Why-Not baseline: n.a. ({exc})")
         else:
-            print("Why-Not baseline:")
+            writer.line("Why-Not baseline:")
             for question in questions:
-                print(f"why-not {question}")
+                writer.line(f"why-not {question}")
                 # per-question containment: one failing question must
                 # not drop the baseline answers of the remaining ones
                 try:
-                    print(baseline.explain(question).summary())
+                    summary = baseline.explain(question).summary()
+                    writer.append("baseline_answers", summary)
+                    writer.block(summary)
                 except ReproError as exc:
-                    print(f"  FAILED: {type(exc).__name__}: {exc}")
+                    message = f"{type(exc).__name__}: {exc}"
+                    writer.append(
+                        "baseline_answers", f"FAILED: {message}"
+                    )
+                    writer.line(f"  FAILED: {message}")
                     degraded = True
     return EXIT_DEGRADED if degraded else EXIT_OK
 
 
-def _run_demo(args) -> int:
+def _run_demo(args, writer: OutputWriter) -> int:
     from .bench import run_use_case
     from .workloads import USE_CASE_INDEX
 
     if args.use_case not in USE_CASE_INDEX:
-        print(
+        writer.error(
             f"unknown use case {args.use_case!r}; choose from "
-            f"{', '.join(USE_CASE_INDEX)}",
-            file=sys.stderr,
+            f"{', '.join(USE_CASE_INDEX)}"
         )
-        return 2
+        return EXIT_ERROR
     result = run_use_case(args.use_case)
     use_case = result.use_case
-    print(f"use case {use_case.name}: query {use_case.query}")
-    print(f"why-not question: {use_case.predicate}")
-    print()
-    print("NedExplain:")
-    print(result.ned.summary())
-    print()
-    print("Why-Not baseline:", result.whynot_answer_text())
-    return 0
+    writer.set("use_case", use_case.name)
+    writer.set("query", use_case.query)
+    writer.set("predicate", use_case.predicate)
+    writer.set("report", result.ned.to_dict())
+    writer.set("baseline", result.whynot_answer_text())
+    writer.line(
+        f"use case {use_case.name}: query {use_case.query}"
+    )
+    writer.line(f"why-not question: {use_case.predicate}")
+    writer.line()
+    writer.line("NedExplain:")
+    writer.block(result.ned.summary())
+    writer.line()
+    writer.line(f"Why-Not baseline: {result.whynot_answer_text()}")
+    return EXIT_OK
 
 
-def _run_evaluate() -> int:
+def _run_evaluate(writer: OutputWriter) -> int:
     from .bench import render_table5, run_all
 
-    print(render_table5(run_all()))
-    return 0
+    results = run_all()
+    for result in results:
+        writer.append(
+            "use_cases",
+            {
+                "name": result.use_case.name,
+                "query": result.use_case.query,
+                "predicate": result.use_case.predicate,
+                "report": result.ned.to_dict(),
+                "baseline": result.whynot_answer_text(),
+            },
+        )
+    writer.block(render_table5(results))
+    return EXIT_OK
 
 
 if __name__ == "__main__":

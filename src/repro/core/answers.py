@@ -36,6 +36,10 @@ class DetailedEntry:
     def subquery_label(self) -> str:
         return self.subquery.name or self.subquery.describe()
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (the ``--json`` CLI report format)."""
+        return {"tid": self.tid, "subquery": self.subquery_label}
+
     def __repr__(self) -> str:
         who = self.tid if self.tid is not None else "null"
         return f"({who}, {self.subquery_label})"
@@ -88,6 +92,21 @@ class WhyNotAnswer:
 
     def is_empty(self) -> bool:
         return not self.detailed and not self.secondary
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (the ``--json`` CLI report format)."""
+        return {
+            "ctuple": str(self.ctuple),
+            "detailed": [entry.to_dict() for entry in self.detailed],
+            "condensed": list(self.condensed_labels),
+            "secondary": list(self.secondary_labels),
+            "empty_outputs": [
+                q.name or q.describe() for q in self.empty_outputs
+            ],
+            "no_compatible_data": self.no_compatible_data,
+            "answer_not_missing": self.answer_not_missing,
+            "partial": self.partial,
+        }
 
     def __repr__(self) -> str:
         parts = [f"detailed={list(self.detailed)!r}"]
@@ -174,6 +193,16 @@ class NedExplainReport:
 
     def is_empty(self) -> bool:
         return all(answer.is_empty() for answer in self.answers)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (the ``--json`` CLI report format)."""
+        return {
+            "answers": [answer.to_dict() for answer in self.answers],
+            "phase_times_ms": dict(self.phase_times_ms),
+            "total_time_ms": self.total_time_ms,
+            "partial": self.partial,
+            "degraded_reason": self.degraded_reason,
+        }
 
     def summary(self) -> str:
         """Human-readable multi-line report."""

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from ..obs.trace import current_tracer
 from ..relational.conditions import Var, is_satisfiable
 from ..relational.database import Database
 from ..robustness.budget import current_context
@@ -124,6 +125,19 @@ class CompatibleFinder:
     def find(self, tc: CTuple) -> CompatibilitySets:
         """Compute ``Dir_tc`` / ``InDir_tc`` for the c-tuple."""
         fault_point("compatible.find")
+        tracer = current_tracer()
+        if tracer is None:
+            return self._find(tc)
+        with tracer.span(
+            "find", category="compatible", ctuple=str(tc)
+        ) as span:
+            sets = self._find(tc)
+            span.set_tag("direct", len(sets.dir_tids))
+            span.set_tag("indirect", len(sets.indir_tids))
+            tracer.metrics.counter("compatible.finds").inc()
+            return sets
+
+    def _find(self, tc: CTuple) -> CompatibilitySets:
         constrained = frozenset(
             alias
             for alias in (alias_of(attr) for attr in tc.type)

@@ -19,11 +19,15 @@ predicate, NedExplain:
 
 Phase timings (Initialization, CompatibleFinder, SuccessorsFinder,
 Bottom-Up) are accumulated exactly as Fig. 5 of the paper reports them.
+Each timed section reads the injectable clock of
+:mod:`repro.obs.clock`; under an ambient tracer every section also
+becomes a ``phase`` span whose duration *is* the accumulated
+measurement, so per-phase span sums and ``report.phase_times_ms``
+agree by construction.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -38,6 +42,8 @@ from ..relational.algebra import Aggregate, Query
 from ..relational.database import Database
 from ..relational.evalcache import EvaluationCache, get_default_cache
 from ..relational.evaluator import EvaluationResult
+from ..obs.clock import perf_counter
+from ..obs.trace import current_tracer
 from ..relational.instance import DatabaseInstance
 from ..relational.tuples import Tuple
 from ..robustness.budget import (
@@ -61,6 +67,45 @@ from .whynot_question import CTuple, Predicate, parse_predicate
 
 #: The four phases of Fig. 5.
 PHASES = ("Initialization", "CompatibleFinder", "SuccessorsFinder", "BottomUp")
+
+
+class _PhaseTimer:
+    """Times one section of a Fig. 5 phase.
+
+    With tracing off: two reads of the injectable clock.  With tracing
+    on: a ``phase`` span whose duration is *also* the value added to
+    the engine's phase accumulator -- one measurement, two views, so
+    ``sum(phase spans) == report.phase_times_ms`` exactly.  The section
+    is recorded even when it unwinds on an exception (a degraded,
+    budget-exhausted report still accounts the time it burned).
+    """
+
+    __slots__ = ("engine", "name", "_tracer", "_span", "_started")
+
+    def __init__(self, engine: "NedExplain", name: str):
+        self.engine = engine
+        self.name = name
+
+    def __enter__(self) -> "_PhaseTimer":
+        self.engine._note_phase(self.name)
+        self._tracer = current_tracer()
+        if self._tracer is None:
+            self._span = None
+            self._started = perf_counter()
+        else:
+            self._span = self._tracer.start_span(
+                self.name, category="phase", phase=self.name
+            )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._span is None:
+            elapsed_ms = (perf_counter() - self._started) * 1000.0
+        else:
+            self._tracer.end_span(self._span)
+            elapsed_ms = self._span.duration_ms
+        self.engine._phases[self.name] += elapsed_ms
+        return False
 
 
 @dataclass
@@ -156,10 +201,23 @@ class NedExplain:
         predicate = self._coerce(predicate)
         predicate.validate_against(self.canonical.root)
         budget = budget if budget is not None else self.config.budget
-        if budget is not None and current_context() is None:
-            with execution_context(ExecutionContext(budget)):
-                return self._explain_validated(predicate)
-        return self._explain_validated(predicate)
+        tracer = current_tracer()
+        if tracer is None:
+            if budget is not None and current_context() is None:
+                with execution_context(ExecutionContext(budget)):
+                    return self._explain_validated(predicate)
+            return self._explain_validated(predicate)
+        with tracer.span(
+            "explain", category="run", predicate=str(predicate)
+        ) as run_span:
+            if budget is not None and current_context() is None:
+                with execution_context(ExecutionContext(budget)):
+                    report = self._explain_validated(predicate)
+            else:
+                report = self._explain_validated(predicate)
+            run_span.set_tag("answers", len(report.answers))
+            run_span.set_tag("partial", report.partial)
+            return report
 
     def _explain_validated(self, predicate: Predicate) -> NedExplainReport:
         self._phases = {phase: 0.0 for phase in PHASES}
@@ -171,31 +229,23 @@ class NedExplain:
         try:
             self._shared = None
             if self.config.use_shared_evaluation:
-                self._note_phase("BottomUp")
-                started = time.perf_counter()
-                self._shared = self.cache.get_or_evaluate(
-                    self.canonical.root,
-                    self.instance,
-                    self.canonical.aliases,
-                )
                 # evaluation cost used to live in the per-entry
                 # bottom-up pass; keep it in the same Fig. 5 phase for
                 # comparability
-                self._phases["BottomUp"] += (
-                    time.perf_counter() - started
-                ) * 1000.0
+                with _PhaseTimer(self, "BottomUp"):
+                    self._shared = self.cache.get_or_evaluate(
+                        self.canonical.root,
+                        self.instance,
+                        self.canonical.aliases,
+                    )
 
-            self._note_phase("Initialization")
-            started = time.perf_counter()
-            pairs: list[tuple[CTuple, CTuple]] = []
-            for original in predicate:
-                for unrenamed in unrename_ctuple(
-                    self.canonical.root, original
-                ):
-                    pairs.append((original, unrenamed))
-            self._phases["Initialization"] += (
-                time.perf_counter() - started
-            ) * 1000.0
+            with _PhaseTimer(self, "Initialization"):
+                pairs: list[tuple[CTuple, CTuple]] = []
+                for original in predicate:
+                    for unrenamed in unrename_ctuple(
+                        self.canonical.root, original
+                    ):
+                        pairs.append((original, unrenamed))
 
             for original, unrenamed in pairs:
                 answer, tabq = self._explain_ctuple(unrenamed)
@@ -342,12 +392,8 @@ class NedExplain:
     def _explain_ctuple(
         self, tc: CTuple
     ) -> tuple[WhyNotAnswer, TabQ | None]:
-        self._note_phase("CompatibleFinder")
-        started = time.perf_counter()
-        compat = self.finder.find(tc)
-        self._phases["CompatibleFinder"] += (
-            time.perf_counter() - started
-        ) * 1000.0
+        with _PhaseTimer(self, "CompatibleFinder"):
+            compat = self.finder.find(tc)
 
         if compat.is_empty:
             return (
@@ -355,12 +401,8 @@ class NedExplain:
                 None,
             )
 
-        self._note_phase("Initialization")
-        started = time.perf_counter()
-        tabq = TabQ(self.canonical.root, self.instance, compat)
-        self._phases["Initialization"] += (
-            time.perf_counter() - started
-        ) * 1000.0
+        with _PhaseTimer(self, "Initialization"):
+            tabq = TabQ(self.canonical.root, self.instance, compat)
 
         detailed: list[DetailedEntry] = []
         try:
@@ -383,12 +425,11 @@ class NedExplain:
 
         secondary: tuple[Query, ...] = ()
         if self.config.compute_secondary:
-            started = time.perf_counter()
-            picky_nodes = {id(e.subquery) for e in detailed}
-            secondary = self._secondary_answer(tabq, compat, picky_nodes)
-            self._phases["BottomUp"] += (
-                time.perf_counter() - started
-            ) * 1000.0
+            with _PhaseTimer(self, "BottomUp"):
+                picky_nodes = {id(e.subquery) for e in detailed}
+                secondary = self._secondary_answer(
+                    tabq, compat, picky_nodes
+                )
 
         answer = WhyNotAnswer(
             ctuple=tc,
@@ -408,31 +449,28 @@ class NedExplain:
         tc: CTuple,
         detailed: list[DetailedEntry],
     ) -> None:
-        self._note_phase("BottomUp")
-        started = time.perf_counter()
         node = entry.node
-        if self._shared is not None:
-            # shared-evaluation path: per-node inputs/outputs come from
-            # the one cached evaluation (identical, by construction, to
-            # what re-applying every manipulation would produce)
-            if not entry.is_leaf:
-                entry.input = list(self._shared.flat_input(node))
-            entry.output = list(self._shared.output(node))
-        elif entry.is_leaf:
-            entry.output = node.apply([entry.input])
-        else:
-            inputs = [
-                list(tabq.entry(child).output or [])
-                for child in node.children
-            ]
-            entry.input = [t for part in inputs for t in part]
-            entry.output = node.apply(inputs)
-        parent = entry.parent
-        if not entry.output:
-            tabq.mark_empty(entry)
-        self._phases["BottomUp"] += (
-            time.perf_counter() - started
-        ) * 1000.0
+        with _PhaseTimer(self, "BottomUp"):
+            if self._shared is not None:
+                # shared-evaluation path: per-node inputs/outputs come
+                # from the one cached evaluation (identical, by
+                # construction, to what re-applying every manipulation
+                # would produce)
+                if not entry.is_leaf:
+                    entry.input = list(self._shared.flat_input(node))
+                entry.output = list(self._shared.output(node))
+            elif entry.is_leaf:
+                entry.output = node.apply([entry.input])
+            else:
+                inputs = [
+                    list(tabq.entry(child).output or [])
+                    for child in node.children
+                ]
+                entry.input = [t for part in inputs for t in part]
+                entry.output = node.apply(inputs)
+            parent = entry.parent
+            if not entry.output:
+                tabq.mark_empty(entry)
 
         if entry.is_leaf:
             if entry.compatibles:
@@ -442,50 +480,50 @@ class NedExplain:
             return
 
         # Alg. 3: FindSuccessors
-        self._note_phase("SuccessorsFinder")
-        started = time.perf_counter()
-        step = find_successors(
-            entry.output,
-            entry.compatibles,
-            compat.valid_tids,
-            compat.dir_tids,
-        )
-        if parent is not None:
-            parent.add_compatibles(step.successors)
-        if step.successors:
-            tabq.mark_non_picky(entry)
-        if step.blocked:
-            tabq.mark_picky(entry, step.blocked)
-        for origin in sorted(step.died):
-            detailed.append(DetailedEntry(origin, node))
-
-        # Aggregation-condition check (Def. 2.12, second part): applies
-        # to nodes strictly above the breakpoint V of an aggregation.
-        aggregate = self._relevant_aggregate(node)
-        if aggregate is not None:
-            tc_agg = tc.restricted_to(
-                set(aggregate.group_by) | set(aggregate.aggregated_attributes)
+        with _PhaseTimer(self, "SuccessorsFinder"):
+            step = find_successors(
+                entry.output,
+                entry.compatibles,
+                compat.valid_tids,
+                compat.dir_tids,
             )
-            if tc_agg is not None:
-                admits_in = self._admits(aggregate, entry.compatibles, tc_agg)
-                admits_out = self._admits(
-                    aggregate, list(step.successors), tc_agg
+            if parent is not None:
+                parent.add_compatibles(step.successors)
+            if step.successors:
+                tabq.mark_non_picky(entry)
+            if step.blocked:
+                tabq.mark_picky(entry, step.blocked)
+            for origin in sorted(step.died):
+                detailed.append(DetailedEntry(origin, node))
+
+            # Aggregation-condition check (Def. 2.12, second part):
+            # applies to nodes strictly above the breakpoint V of an
+            # aggregation.
+            aggregate = self._relevant_aggregate(node)
+            if aggregate is not None:
+                tc_agg = tc.restricted_to(
+                    set(aggregate.group_by)
+                    | set(aggregate.aggregated_attributes)
                 )
-                already = any(
-                    e.subquery is node and e.tid is not None
-                    for e in detailed
-                )
-                if (
-                    admits_in is True
-                    and admits_out is False
-                    and not already
-                ):
-                    detailed.append(DetailedEntry(None, node))
-                    if not step.blocked:
-                        tabq.mark_picky(entry, ())
-        self._phases["SuccessorsFinder"] += (
-            time.perf_counter() - started
-        ) * 1000.0
+                if tc_agg is not None:
+                    admits_in = self._admits(
+                        aggregate, entry.compatibles, tc_agg
+                    )
+                    admits_out = self._admits(
+                        aggregate, list(step.successors), tc_agg
+                    )
+                    already = any(
+                        e.subquery is node and e.tid is not None
+                        for e in detailed
+                    )
+                    if (
+                        admits_in is True
+                        and admits_out is False
+                        and not already
+                    ):
+                        detailed.append(DetailedEntry(None, node))
+                        if not step.blocked:
+                            tabq.mark_picky(entry, ())
 
     # ------------------------------------------------------------------
     # Alg. 2: checkEarlyTermination

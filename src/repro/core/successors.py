@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..obs.trace import current_tracer
 from ..relational.tuples import Tuple
 from ..robustness.budget import current_context
 
@@ -79,6 +80,15 @@ def find_successors(
 
     origins_in = _origins(compatibles, dir_tids)
     origins_out = _origins(successors, dir_tids)
+    tracer = current_tracer()
+    if tracer is not None:
+        metrics = tracer.metrics
+        metrics.counter("successors.steps").inc()
+        metrics.counter("successors.checks").inc(
+            len(output) + len(compatibles)
+        )
+        metrics.counter("successors.found").inc(len(successors))
+        metrics.counter("successors.blocked").inc(len(blocked))
     return SuccessorStep(
         successors=tuple(successors),
         blocked=blocked,

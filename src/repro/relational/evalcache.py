@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..errors import ConfigurationError
+from ..obs.trace import current_tracer
 from ..robustness.faults import fault_point
 from .algebra import Query, query_fingerprint
 from .evaluator import EvaluationResult, evaluate
@@ -124,22 +125,36 @@ class EvaluationCache:
         keeps the evaluation count honest.
         """
         fault_point("cache.lookup")
+        tracer = current_tracer()
         key = self.key_for(root, instance, aliases)
         cached = self._entries.get(key)
         if cached is not None:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            if tracer is not None:
+                tracer.metrics.counter("cache.hits").inc()
             if cached.root is root:
                 return cached
             return cached.rebind(root)
         self.stats.misses += 1
-        result = evaluate(root, instance)
+        if tracer is None:
+            result = evaluate(root, instance)
+        else:
+            tracer.metrics.counter("cache.misses").inc()
+            with tracer.span(
+                "evaluate", category="cache", fingerprint=key[0][:12]
+            ):
+                result = evaluate(root, instance)
         self.stats.evaluations += 1
         fault_point("cache.store")
         self._entries[key] = result
+        if tracer is not None:
+            tracer.metrics.counter("cache.stores").inc()
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            if tracer is not None:
+                tracer.metrics.counter("cache.evictions").inc()
         return result
 
     def peek(self, key: tuple) -> EvaluationResult | None:

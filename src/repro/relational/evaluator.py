@@ -14,9 +14,10 @@ from __future__ import annotations
 from typing import Iterator, Mapping, Sequence
 
 from ..errors import EvaluationError, UnknownRelationError
+from ..obs.trace import current_tracer
 from ..robustness.budget import current_context
 from ..robustness.faults import fault_point
-from .algebra import Query, RelationLeaf, validate_tree
+from .algebra import Query, RelationLeaf, query_fingerprint, validate_tree
 from .instance import DatabaseInstance, query_input_instance
 from .tuples import Tuple, Value
 
@@ -140,25 +141,52 @@ def evaluate(root: Query, instance: DatabaseInstance) -> EvaluationResult:
     validate_tree(root)
     result = EvaluationResult(root)
     context = current_context()
-    for node in root.postorder():
+    # Tracing fast path: one context-var read per evaluation, one None
+    # check per node when tracing is off.
+    tracer = current_tracer()
+    for index, node in enumerate(root.postorder()):
         # Cooperative budget tick per operator: a deadline or row limit
         # stops the bottom-up pass between manipulations (the
         # comparison ticks inside Join/Select bound work *within* one).
         fault_point("operator.apply")
         if context is not None:
             context.check_deadline()
-        if isinstance(node, RelationLeaf):
-            try:
-                stored = list(instance.relation(node.alias))
-            except UnknownRelationError as exc:
-                raise EvaluationError(
-                    f"query reads alias {node.alias!r} but the input "
-                    "instance has no such relation"
-                ) from exc
-            inputs = [stored]
-        else:
-            inputs = [list(result.output(child)) for child in node.children]
-        output = node.apply(inputs)
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                node.name or node.op,
+                category="operator",
+                op=node.op,
+                fingerprint=query_fingerprint(node)[:12],
+                postorder=index,
+            )
+        try:
+            if isinstance(node, RelationLeaf):
+                try:
+                    stored = list(instance.relation(node.alias))
+                except UnknownRelationError as exc:
+                    raise EvaluationError(
+                        f"query reads alias {node.alias!r} but the "
+                        "input instance has no such relation"
+                    ) from exc
+                inputs = [stored]
+            else:
+                inputs = [
+                    list(result.output(child)) for child in node.children
+                ]
+            output = node.apply(inputs)
+        finally:
+            if span is not None:
+                tracer.end_span(span)
+        if span is not None:
+            span.set_tag(
+                "rows_in", sum(len(part) for part in inputs)
+            )
+            span.set_tag("rows_out", len(output))
+            tracer.metrics.counter("evaluator.operators").inc()
+            tracer.metrics.histogram("evaluator.rows_out").observe(
+                len(output)
+            )
         result.set_node(node, inputs, output)
         if context is not None:
             context.tick_rows(len(output))

@@ -251,6 +251,44 @@ class CardinalityEstimator:
         return stats.range_selectivity(op, right.value)
 
 
+def actuals_from_trace(tracer, root: Query) -> dict[int, int]:
+    """Per-node actual cardinalities recorded by a traced evaluation.
+
+    The evaluator tags every ``operator`` span with the node's
+    postorder index and output cardinality
+    (:func:`repro.relational.evaluator.evaluate`); this maps those tags
+    back onto *root*'s nodes, keyed by ``id(node)`` as
+    :func:`explain_plan` expects::
+
+        with tracing() as tracer:
+            evaluate_query(root, instance, aliases)
+        print(explain_plan(root, database, aliases,
+                           actuals=actuals_from_trace(tracer, root)))
+
+    When the trace holds several evaluations of the same tree (cache
+    misses over different instances), the last recorded value per node
+    wins.  Spans of *other* trees in the same trace are skipped: the
+    postorder index must agree with a node of *root* (indices past the
+    tree size are ignored; fingerprint tags disambiguate the rest).
+    """
+    nodes = list(root.postorder())
+    from .algebra import query_fingerprint
+
+    prefixes = [query_fingerprint(node)[:12] for node in nodes]
+    actuals: dict[int, int] = {}
+    for span in tracer.by_category("operator"):
+        index = span.tags.get("postorder")
+        rows_out = span.tags.get("rows_out")
+        if index is None or rows_out is None:
+            continue
+        if not (0 <= index < len(nodes)):
+            continue
+        if span.tags.get("fingerprint") != prefixes[index]:
+            continue
+        actuals[id(nodes[index])] = rows_out
+    return actuals
+
+
 def explain_plan(
     root: Query,
     database: Database,

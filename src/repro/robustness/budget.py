@@ -29,17 +29,23 @@ deep operator loops need no signature changes: wrap any library call in
 
     with execution_context(ExecutionContext(Budget(max_rows=10_000))):
         result = evaluate_query(root, database)
+
+All wall-clock reads go through the injectable clock of
+:mod:`repro.obs.clock` (the context captures the ambient clock at
+construction), so budget and chaos tests drive deadlines with a
+:class:`~repro.obs.clock.ManualClock` instead of sleeping.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Iterator
 
 from ..errors import BudgetExceededError, ConfigurationError
+from ..obs.clock import Clock, current_clock
+from ..obs.trace import current_tracer
 
 #: How many comparison ticks may pass between two wall-clock reads.
 DEADLINE_CHECK_EVERY = 1024
@@ -87,6 +93,14 @@ class BudgetSpent:
     rows: int
     comparisons: int
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (the ``--json`` CLI report format)."""
+        return {
+            "elapsed_s": self.elapsed_s,
+            "rows": self.rows,
+            "comparisons": self.comparisons,
+        }
+
     def __repr__(self) -> str:
         return (
             f"BudgetSpent(elapsed_s={self.elapsed_s:.3f}, "
@@ -101,19 +115,36 @@ class ExecutionContext:
     attribute is advisory: NedExplain keeps it pointing at the Fig. 5
     phase currently running so failure outcomes can report where the
     budget ran out.
+
+    The context reads time through *clock* (default: the ambient
+    :func:`repro.obs.clock.current_clock`), and -- when a tracer is
+    active at construction -- mirrors its row/comparison accounting
+    into the tracer's ``budget.rows`` / ``budget.comparisons``
+    counters so traced runs expose the budget machinery's work.
     """
 
-    def __init__(self, budget: Budget | None = None):
+    def __init__(
+        self, budget: Budget | None = None, clock: Clock | None = None
+    ):
         self.budget = budget if budget is not None else Budget()
-        self.started = time.monotonic()
+        self.clock = clock if clock is not None else current_clock()
+        self.started = self.clock.monotonic()
         self.rows = 0
         self.comparisons = 0
         self.phase: str | None = None
         self._ticks_since_clock = 0
+        tracer = current_tracer()
+        if tracer is None:
+            self._obs_rows = self._obs_comparisons = None
+        else:
+            self._obs_rows = tracer.metrics.counter("budget.rows")
+            self._obs_comparisons = tracer.metrics.counter(
+                "budget.comparisons"
+            )
 
     def spent(self) -> BudgetSpent:
         return BudgetSpent(
-            elapsed_s=time.monotonic() - self.started,
+            elapsed_s=self.clock.monotonic() - self.started,
             rows=self.rows,
             comparisons=self.comparisons,
         )
@@ -124,6 +155,8 @@ class ExecutionContext:
     def tick_rows(self, n: int) -> None:
         """Charge *n* produced intermediate rows."""
         self.rows += n
+        if self._obs_rows is not None:
+            self._obs_rows.inc(n)
         limit = self.budget.max_rows
         if limit is not None and self.rows > limit:
             self._exhaust("rows", f"{self.rows} rows > limit {limit}")
@@ -132,6 +165,8 @@ class ExecutionContext:
     def tick_comparisons(self, n: int) -> None:
         """Charge *n* tuple comparisons (throttled deadline check)."""
         self.comparisons += n
+        if self._obs_comparisons is not None:
+            self._obs_comparisons.inc(n)
         limit = self.budget.max_comparisons
         if limit is not None and self.comparisons > limit:
             self._exhaust(
@@ -147,7 +182,7 @@ class ExecutionContext:
         deadline = self.budget.deadline_s
         if deadline is None:
             return
-        elapsed = time.monotonic() - self.started
+        elapsed = self.clock.monotonic() - self.started
         if elapsed > deadline:
             self._exhaust(
                 "deadline", f"{elapsed:.3f}s > deadline {deadline}s"

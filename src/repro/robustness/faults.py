@@ -40,6 +40,7 @@ from ..errors import (
     ConfigurationError,
     InjectedFaultError,
 )
+from ..obs.trace import current_tracer
 
 #: Every site wired with a :func:`fault_point` call.
 FAULT_SITES: tuple[str, ...] = (
@@ -138,8 +139,13 @@ class FaultPlan:
         index = self.calls.get(site, 0)
         self.calls[site] = index + 1
         spec = self._by_site.get(site, {}).get(index)
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.counter(f"faults.calls.{site}").inc()
         if spec is not None:
             self.fired.append(spec)
+            if tracer is not None:
+                tracer.metrics.counter(f"faults.fired.{site}").inc()
             raise spec.build_error()
 
     def reset(self) -> None:

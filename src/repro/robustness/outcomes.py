@@ -51,6 +51,17 @@ class FailureInfo:
             ),
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (the ``--json`` CLI report format)."""
+        return {
+            "error_class": self.error_class,
+            "message": self.message,
+            "phase": self.phase,
+            "spent": self.spent.to_dict()
+            if self.spent is not None
+            else None,
+        }
+
     def describe(self) -> str:
         parts = [f"{self.error_class}: {self.message}"]
         if self.phase:
@@ -91,6 +102,19 @@ class QuestionOutcome:
         return self.report is not None and bool(
             getattr(self.report, "partial", False)
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (the ``--json`` CLI report format)."""
+        return {
+            "question": str(self.question),
+            "ok": self.ok,
+            "report": self.report.to_dict()
+            if self.report is not None
+            else None,
+            "failure": self.failure.to_dict()
+            if self.failure is not None
+            else None,
+        }
 
     def unwrap(self) -> "NedExplainReport":
         """The report, or re-raise the question's original error."""

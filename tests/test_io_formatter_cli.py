@@ -218,3 +218,137 @@ class TestCli:
         assert main(["evaluate"]) == 0
         out = capsys.readouterr().out
         assert "Crime1" in out and "Gov7" in out
+
+
+class TestCliObservability:
+    """--json / --trace / --metrics: one writer, no interleaving."""
+
+    def _explain_args(self, tmp_path):
+        return [
+            "explain",
+            "--data", str(tmp_path / "db"),
+            "--sql",
+            "SELECT A.name FROM A WHERE A.dob > -800",
+            "--why-not", "(A.name: Homer)",
+        ]
+
+    def test_json_output_is_one_document(
+        self, running_example_db, tmp_path, capsys
+    ):
+        import json
+
+        save_database(running_example_db, tmp_path / "db")
+        code = main(self._explain_args(tmp_path) + ["--json"])
+        out = capsys.readouterr().out
+        document = json.loads(out)  # the whole stdout parses at once
+        assert code == 0
+        assert document["command"] == "explain"
+        assert document["exit_code"] == 0
+        assert document["questions"] == ["(A.name: Homer)"]
+        report = document["reports"][0]
+        assert set(report["phase_times_ms"]) >= {
+            "Initialization", "CompatibleFinder",
+        }
+        entries = report["answers"][0]["detailed"]
+        assert {"tid": "A:a1", "subquery": "m0"} in entries
+
+    def test_json_errors_go_to_stderr_and_document(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        code = main(
+            [
+                "explain",
+                "--data", str(tmp_path),
+                "--sql", "SELECT x FROM T",
+                "--why-not", "(x: 1)",
+                "--json",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+        document = json.loads(captured.out)
+        assert document["exit_code"] == 2
+        assert any("error:" in e for e in document["errors"])
+
+    def test_trace_flag_writes_valid_artifact(
+        self, running_example_db, tmp_path, capsys
+    ):
+        from repro.obs import read_trace_jsonl
+
+        save_database(running_example_db, tmp_path / "db")
+        trace_path = tmp_path / "run_trace.jsonl"
+        code = main(
+            self._explain_args(tmp_path) + ["--trace", str(trace_path)]
+        )
+        assert code == 0
+        assert f"trace written to {trace_path}" in (
+            capsys.readouterr().out
+        )
+        spans, metrics = read_trace_jsonl(trace_path)
+        categories = {record["category"] for record in spans}
+        assert {"run", "phase", "operator"} <= categories
+        assert metrics["evaluator.operators"]["value"] > 0
+
+    def test_metrics_flag_renders_snapshot(
+        self, running_example_db, tmp_path, capsys
+    ):
+        save_database(running_example_db, tmp_path / "db")
+        code = main(self._explain_args(tmp_path) + ["--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "cache.misses:" in out
+        assert "trace tree:" in out
+
+    def test_json_trace_metrics_compose(
+        self, running_example_db, tmp_path, capsys
+    ):
+        import json
+
+        save_database(running_example_db, tmp_path / "db")
+        trace_path = tmp_path / "t.jsonl"
+        code = main(
+            self._explain_args(tmp_path)
+            + ["--json", "--metrics", "--trace", str(trace_path)]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["trace_file"] == str(trace_path)
+        assert document["metrics"]["evaluator.operators"]["value"] > 0
+        assert set(document["trace_summary"]) >= {"Initialization"}
+
+    def test_demo_supports_json(self, capsys):
+        import json
+
+        assert main(["demo", "Crime5", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["use_case"] == "Crime5"
+        assert document["report"]["answers"]
+        assert document["baseline"]
+
+    def test_batch_json_reports_outcomes(
+        self, running_example_db, tmp_path, capsys
+    ):
+        import json
+
+        save_database(running_example_db, tmp_path / "db")
+        code = main(
+            [
+                "explain",
+                "--data", str(tmp_path / "db"),
+                "--sql",
+                "SELECT A.name FROM A WHERE A.dob > -800",
+                "--why-not", "(A.name: Homer)",
+                "--why-not", "(A.name: Vergil)",
+                "--json",
+            ]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert len(document["outcomes"]) == 2
+        assert all(o["ok"] for o in document["outcomes"])
+        assert document["batch"]["questions"] == 2
+        assert document["batch"]["evaluations"] == 1

@@ -1,0 +1,319 @@
+"""Unit tests for the observability subsystem (:mod:`repro.obs`).
+
+Covers the clock injection, the metrics instruments and snapshot
+algebra, the span tree lifecycle (nesting, cascade-close, no-op fast
+path), and the exporters' round trips -- all on a
+:class:`~repro.obs.clock.ManualClock`, so every duration asserted here
+is exact, not approximate.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    ManualClock,
+    MetricsRegistry,
+    SystemClock,
+    Tracer,
+    current_clock,
+    current_tracer,
+    merge_snapshots,
+    metric_counter,
+    metric_observe,
+    metrics_snapshot,
+    read_trace_jsonl,
+    render_trace,
+    span,
+    to_chrome_trace,
+    tracing,
+    use_clock,
+    write_chrome_trace,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+from repro.obs.trace import NOOP_SPAN
+
+
+class TestClock:
+    def test_manual_clock_advances(self):
+        clock = ManualClock()
+        assert clock.monotonic() == 0.0
+        clock.advance(1.5)
+        assert clock.monotonic() == 1.5
+        assert clock.perf_counter() == 1.5
+
+    def test_manual_clock_rejects_negative_advance(self):
+        with pytest.raises(ConfigurationError):
+            ManualClock().advance(-0.1)
+
+    def test_ambient_clock_defaults_to_system(self):
+        assert isinstance(current_clock(), SystemClock)
+
+    def test_use_clock_installs_and_restores(self):
+        manual = ManualClock(start=5.0)
+        with use_clock(manual):
+            assert current_clock() is manual
+            assert current_clock().monotonic() == 5.0
+        assert isinstance(current_clock(), SystemClock)
+
+
+class TestMetrics:
+    def test_counter(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.counter("hits").value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(3)
+        registry.gauge("depth").set(7)
+        assert registry.gauge("depth").value == 7
+
+    def test_histogram_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("rows", buckets=(10, 100))
+        for value in (1, 10, 11, 1000):
+            histogram.observe(value)
+        # <=10, <=100, overflow
+        assert histogram.bucket_counts == [2, 1, 1]
+        assert histogram.count == 4
+        assert histogram.sum == 1022
+        assert histogram.mean == pytest.approx(255.5)
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("h", buckets=(10, 10))
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().histogram("h", buckets=())
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+
+    def test_snapshot_is_sorted_and_flat(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc(2)
+        registry.gauge("a").set(1.5)
+        registry.histogram("c").observe(3)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "b", "c"]
+        assert snapshot["a"] == {"type": "gauge", "value": 1.5}
+        assert snapshot["b"] == {"type": "counter", "value": 2}
+        assert snapshot["c"]["count"] == 1
+        json.dumps(snapshot)  # JSON-ready
+
+    def test_merge_snapshots(self):
+        first = MetricsRegistry()
+        first.counter("n").inc(2)
+        first.gauge("g").set(1)
+        first.histogram("h", buckets=(10,)).observe(5)
+        second = MetricsRegistry()
+        second.counter("n").inc(3)
+        second.gauge("g").set(9)
+        second.histogram("h", buckets=(10,)).observe(50)
+        merged = merge_snapshots(
+            [first.snapshot(), second.snapshot()]
+        )
+        assert merged["n"]["value"] == 5
+        assert merged["g"]["value"] == 9
+        assert merged["h"]["count"] == 2
+        assert merged["h"]["bucket_counts"] == [1, 1]
+
+    def test_merge_rejects_kind_and_bucket_mismatch(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        b = MetricsRegistry()
+        b.gauge("x").set(1)
+        with pytest.raises(ConfigurationError):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+        c = MetricsRegistry()
+        c.histogram("h", buckets=(1, 2)).observe(1)
+        d = MetricsRegistry()
+        d.histogram("h", buckets=(1, 3)).observe(1)
+        with pytest.raises(ConfigurationError):
+            merge_snapshots([c.snapshot(), d.snapshot()])
+
+
+class TestTracer:
+    def test_span_nesting_and_durations(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        outer = tracer.start_span("outer", category="run")
+        clock.advance(0.010)
+        with tracer.span("inner", category="phase"):
+            clock.advance(0.005)
+        clock.advance(0.001)
+        tracer.end_span(outer)
+        spans = {s.name: s for s in tracer.spans}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["inner"].duration_ms == pytest.approx(5.0)
+        assert spans["outer"].duration_ms == pytest.approx(16.0)
+
+    def test_open_span_has_no_duration(self):
+        tracer = Tracer(clock=ManualClock())
+        opened = tracer.start_span("open")
+        with pytest.raises(ConfigurationError):
+            _ = opened.duration_ms
+
+    def test_end_span_cascade_closes_children(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        outer = tracer.start_span("outer")
+        tracer.start_span("orphan")
+        clock.advance(0.002)
+        tracer.end_span(outer)
+        assert not tracer.open_spans
+        names = {s.name for s in tracer.spans}
+        assert names == {"outer", "orphan"}
+
+    def test_end_unknown_span_rejected(self):
+        tracer = Tracer(clock=ManualClock())
+        finished = tracer.start_span("s")
+        tracer.end_span(finished)
+        with pytest.raises(ConfigurationError):
+            tracer.end_span(finished)
+
+    def test_phase_totals_sum_per_phase(self):
+        clock = ManualClock()
+        tracer = Tracer(clock=clock)
+        for advance in (0.003, 0.007):
+            with tracer.span("Init", category="phase", phase="Init"):
+                clock.advance(advance)
+        totals = tracer.phase_totals_ms()
+        assert totals == {"Init": pytest.approx(10.0)}
+
+    def test_ambient_tracer_and_noop_fast_path(self):
+        assert current_tracer() is None
+        assert span("anything") is NOOP_SPAN
+        metric_counter("ignored")  # must not raise
+        metric_observe("ignored", 1.0)
+        assert metrics_snapshot() is None
+        with tracing() as tracer:
+            assert current_tracer() is tracer
+            with span("visible", category="test"):
+                pass
+            metric_counter("seen", 2)
+            assert metrics_snapshot()["seen"]["value"] == 2
+        assert current_tracer() is None
+        assert tracer.by_category("test")[0].name == "visible"
+
+
+class TestExporters:
+    def _traced(self):
+        clock = ManualClock(start=100.0)
+        tracer = Tracer(clock=clock)
+        with tracer.span("root", category="run"):
+            clock.advance(0.004)
+            with tracer.span("child", category="phase", phase="Init"):
+                clock.advance(0.006)
+        tracer.metrics.counter("cache.hits").inc(3)
+        return tracer
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = self._traced()
+        path = write_trace_jsonl(tracer, tmp_path / "t.jsonl")
+        spans, metrics = read_trace_jsonl(path)
+        assert len(spans) == 2
+        root, child = spans
+        assert root["start_ms"] == 0.0  # epoch-relative
+        assert child["parent"] == root["id"]
+        assert child["duration_ms"] == pytest.approx(6.0)
+        assert metrics["cache.hits"]["value"] == 3
+
+    def test_export_rejects_open_spans(self, tmp_path):
+        tracer = Tracer(clock=ManualClock())
+        tracer.start_span("open")
+        with pytest.raises(ConfigurationError):
+            write_trace_jsonl(tracer, tmp_path / "t.jsonl")
+
+    def test_reader_rejects_malformed_artifacts(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("")
+        with pytest.raises(ConfigurationError):
+            read_trace_jsonl(path)
+        path.write_text('{"kind": "nope"}\n')
+        with pytest.raises(ConfigurationError):
+            read_trace_jsonl(path)
+        # span count mismatch
+        path.write_text(
+            '{"kind": "header", "format": "repro.obs.trace", '
+            '"version": 1, "spans": 2}\n'
+            '{"kind": "span", "id": 1, "parent": null, "name": "a", '
+            '"category": "c", "start_ms": 0, "duration_ms": 1}\n'
+            '{"kind": "metrics", "metrics": {}}\n'
+        )
+        with pytest.raises(ConfigurationError):
+            read_trace_jsonl(path)
+        # dangling parent
+        path.write_text(
+            '{"kind": "header", "format": "repro.obs.trace", '
+            '"version": 1, "spans": 1}\n'
+            '{"kind": "span", "id": 1, "parent": 99, "name": "a", '
+            '"category": "c", "start_ms": 0, "duration_ms": 1}\n'
+            '{"kind": "metrics", "metrics": {}}\n'
+        )
+        with pytest.raises(ConfigurationError):
+            read_trace_jsonl(path)
+
+    def test_chrome_trace(self, tmp_path):
+        tracer = self._traced()
+        document = to_chrome_trace(tracer)
+        events = document["traceEvents"]
+        assert [e["name"] for e in events] == ["root", "child"]
+        assert events[0]["ph"] == "X"
+        assert events[1]["ts"] == pytest.approx(4000.0)  # microseconds
+        assert events[1]["dur"] == pytest.approx(6000.0)
+        path = write_chrome_trace(tracer, tmp_path / "chrome.json")
+        json.loads(path.read_text())
+
+    def test_render_trace_tree(self):
+        tracer = self._traced()
+        text = render_trace(tracer)
+        lines = text.splitlines()
+        assert lines[0].startswith("run:root")
+        assert lines[1].startswith("  phase:child")
+        assert "phase=Init" in lines[1]
+        assert render_trace(Tracer(clock=ManualClock())) == (
+            "(empty trace)"
+        )
+
+    def test_write_metrics_json(self, tmp_path):
+        tracer = self._traced()
+        path = write_metrics_json(tracer, tmp_path / "m.json")
+        data = json.loads(path.read_text())
+        assert data["cache.hits"]["value"] == 3
+
+
+class TestBenchArtifacts:
+    def test_write_and_read_round_trip(self, tmp_path):
+        from repro.bench import read_bench_artifact, write_bench_artifact
+
+        path = write_bench_artifact(
+            "smoke", {"a": 1}, tmp_path / "nested"
+        )
+        assert path.name == "BENCH_smoke.json"
+        assert read_bench_artifact(path) == {"a": 1}
+
+    def test_read_rejects_foreign_documents(self, tmp_path):
+        from repro.bench import read_bench_artifact
+
+        path = tmp_path / "BENCH_x.json"
+        path.write_text('{"whatever": 1}')
+        with pytest.raises(ConfigurationError):
+            read_bench_artifact(path)
+        path.write_text(
+            '{"format": "repro.bench", "version": 99, "data": {}}'
+        )
+        with pytest.raises(ConfigurationError):
+            read_bench_artifact(path)

@@ -1,0 +1,202 @@
+"""End-to-end observability over the paper's workloads.
+
+The acceptance bar for the tracing subsystem, exercised on the real
+engine rather than synthetic spans:
+
+* a traced NedExplain run of **every** use case exports a JSON-lines
+  trace that the validating reader accepts;
+* the per-phase span durations *are* the reported phase totals
+  (``report.phase_times_ms``) -- one measurement, two views, equal to
+  within float-summation noise;
+* operator spans carry the node fingerprint and output cardinality,
+  and those cardinalities agree with :func:`actuals_from_trace` /
+  :func:`explain_plan` over the Table 3 query catalog;
+* the cache and budget layers surface their work as metrics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Budget, NedExplain, tracing
+from repro.obs import Tracer, read_trace_jsonl, write_trace_jsonl
+from repro.relational import EvaluationCache, evaluate_query
+from repro.relational.statistics import actuals_from_trace, explain_plan
+from repro.robustness.faults import FaultPlan, inject
+from repro.workloads import (
+    QUERIES,
+    USE_CASES,
+    get_canonical,
+    get_database,
+    use_case_setup,
+)
+
+USE_CASE_NAMES = [uc.name for uc in USE_CASES]
+
+
+def _traced_run(name: str):
+    """One use case, fresh cache, under a fresh tracer."""
+    use_case, database, canonical = use_case_setup(name)
+    engine = NedExplain(
+        canonical, database=database, cache=EvaluationCache()
+    )
+    with tracing() as tracer:
+        report = engine.explain(use_case.predicate)
+    return tracer, report
+
+
+class TestTracedUseCases:
+    @pytest.mark.parametrize("name", USE_CASE_NAMES)
+    def test_trace_exports_and_validates(self, name, tmp_path):
+        tracer, report = _traced_run(name)
+        path = write_trace_jsonl(tracer, tmp_path / f"{name}.jsonl")
+        spans, metrics = read_trace_jsonl(path)
+        assert spans, "a traced run must produce spans"
+        categories = {record["category"] for record in spans}
+        assert "run" in categories
+        assert "phase" in categories
+
+    @pytest.mark.parametrize("name", USE_CASE_NAMES)
+    def test_phase_span_sums_match_report(self, name):
+        tracer, report = _traced_run(name)
+        totals = tracer.phase_totals_ms()
+        assert set(totals) == set(report.phase_times_ms)
+        for phase, reported in report.phase_times_ms.items():
+            assert math.isclose(
+                totals[phase], reported, rel_tol=1e-9, abs_tol=1e-6
+            ), f"{name}/{phase}: spans {totals[phase]} != {reported}"
+        # ... and therefore the spans sum to the reported total
+        assert math.isclose(
+            sum(totals.values()),
+            report.total_time_ms,
+            rel_tol=1e-9,
+            abs_tol=1e-6,
+        )
+
+    def test_run_span_wraps_the_question(self):
+        tracer, report = _traced_run("Crime5")
+        runs = tracer.by_category("run")
+        assert len(runs) == 1
+        run = runs[0]
+        assert run.parent_id is None
+        assert run.tags["answers"] == len(report.answers)
+        assert run.tags["partial"] is False
+        # every phase span lives inside the run span
+        run_ids = {run.span_id}
+        for phase_span in tracer.by_category("phase"):
+            assert phase_span.parent_id in run_ids
+
+    def test_operator_spans_carry_fingerprint_and_cardinality(self):
+        tracer, _ = _traced_run("Crime5")
+        operators = tracer.by_category("operator")
+        assert operators
+        for operator in operators:
+            assert len(operator.tags["fingerprint"]) == 12
+            assert operator.tags["rows_out"] >= 0
+            assert operator.tags["postorder"] >= 0
+            assert operator.tags["op"]
+
+    def test_cache_and_budget_metrics_recorded(self):
+        use_case, database, canonical = use_case_setup("Crime5")
+        engine = NedExplain(
+            canonical, database=database, cache=EvaluationCache()
+        )
+        with tracing() as tracer:
+            engine.explain(
+                use_case.predicate, budget=Budget(max_rows=10_000)
+            )
+            engine.explain(use_case.predicate)  # second run: cache hits
+        snapshot = tracer.metrics.snapshot()
+        assert snapshot["cache.misses"]["value"] >= 1
+        assert snapshot["cache.hits"]["value"] >= 1
+        assert snapshot["budget.rows"]["value"] > 0
+        assert snapshot["evaluator.operators"]["value"] > 0
+        assert snapshot["evaluator.rows_out"]["count"] > 0
+        assert snapshot["compatible.finds"]["value"] >= 1
+        assert snapshot["successors.steps"]["value"] >= 1
+
+    def test_fault_site_metrics_recorded(self):
+        use_case, database, canonical = use_case_setup("Crime5")
+        engine = NedExplain(
+            canonical, database=database, cache=EvaluationCache()
+        )
+        plan = FaultPlan()  # no specs: observe sites, fire nothing
+        with tracing() as tracer:
+            with inject(plan):
+                engine.explain(use_case.predicate)
+        snapshot = tracer.metrics.snapshot()
+        calls = [
+            name for name in snapshot if name.startswith("faults.calls.")
+        ]
+        assert calls, "fault sites must be visible in the metrics"
+        assert not any(
+            name.startswith("faults.fired.") for name in snapshot
+        )
+
+    def test_tracing_does_not_change_answers(self):
+        use_case, database, canonical = use_case_setup("Imdb2")
+        plain = NedExplain(
+            canonical, database=database, cache=EvaluationCache()
+        ).explain(use_case.predicate)
+        with tracing():
+            traced = NedExplain(
+                canonical, database=database, cache=EvaluationCache()
+            ).explain(use_case.predicate)
+        assert plain.summary() == traced.summary()
+
+
+class TestExplainPlanActuals:
+    """Satellite: estimated vs. span-recorded actual cardinalities."""
+
+    @pytest.mark.parametrize("query", sorted(QUERIES))
+    def test_actuals_recorded_for_every_node(self, query):
+        canonical = get_canonical(query)
+        db_name = QUERIES[query][0]
+        database = get_database(db_name)
+        with tracing() as tracer:
+            result = evaluate_query(
+                canonical.root, database.instance(), canonical.aliases
+            )
+        actuals = actuals_from_trace(tracer, canonical.root)
+        nodes = list(canonical.root.postorder())
+        assert set(actuals) == {id(node) for node in nodes}
+        for node in nodes:
+            assert actuals[id(node)] == len(result.output(node))
+
+    @pytest.mark.parametrize("query", sorted(QUERIES))
+    def test_explain_plan_renders_estimates_and_actuals(self, query):
+        canonical = get_canonical(query)
+        db_name = QUERIES[query][0]
+        database = get_database(db_name)
+        with tracing() as tracer:
+            evaluate_query(
+                canonical.root, database.instance(), canonical.aliases
+            )
+        text = explain_plan(
+            canonical.root,
+            database,
+            canonical.aliases,
+            actuals=actuals_from_trace(tracer, canonical.root),
+        )
+        lines = text.splitlines()
+        assert len(lines) == len(list(canonical.root.postorder()))
+        for line in lines:
+            assert "[est=" in line
+            assert "actual=" in line
+
+    def test_foreign_tree_spans_are_ignored(self):
+        crime = get_canonical("Q1")
+        imdb = get_canonical("Q10")
+        crime_db = get_database(QUERIES["Q1"][0])
+        imdb_db = get_database(QUERIES["Q10"][0])
+        with tracing() as tracer:
+            evaluate_query(
+                crime.root, crime_db.instance(), crime.aliases
+            )
+            evaluate_query(imdb.root, imdb_db.instance(), imdb.aliases)
+        actuals = actuals_from_trace(tracer, crime.root)
+        assert set(actuals) == {
+            id(node) for node in crime.root.postorder()
+        }

@@ -15,8 +15,6 @@ The contract under test (docs/robustness.md):
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro.baseline import WhyNotBaseline
@@ -28,6 +26,7 @@ from repro.errors import (
     InjectedFaultError,
     WhyNotQuestionError,
 )
+from repro.obs import ManualClock, use_clock
 from repro.relational import EvaluationCache
 from repro.robustness import (
     Budget,
@@ -115,12 +114,16 @@ class TestBudget:
         assert info.value.spent.comparisons == 6
 
     def test_deadline_enforced(self):
-        context = ExecutionContext(Budget(deadline_s=0.005))
-        time.sleep(0.02)
+        # deterministic: the clock is driven, not slept on
+        clock = ManualClock()
+        context = ExecutionContext(
+            Budget(deadline_s=0.005), clock=clock
+        )
+        clock.advance(0.02)
         with pytest.raises(BudgetExceededError) as info:
             context.check_deadline()
         assert info.value.resource == "deadline"
-        assert info.value.spent.elapsed_s > 0.005
+        assert info.value.spent.elapsed_s == pytest.approx(0.02)
 
     def test_exhaustion_reports_phase(self):
         context = ExecutionContext(Budget(max_rows=1))
@@ -142,6 +145,51 @@ class TestBudget:
         with execution_context(context):
             assert current_context() is context
         assert current_context() is None
+
+
+class TestInjectableClock:
+    """The context reads time only through its injectable clock."""
+
+    def test_context_captures_ambient_clock(self):
+        clock = ManualClock(start=10.0)
+        with use_clock(clock):
+            context = ExecutionContext(Budget(deadline_s=1.0))
+        # the captured clock keeps working outside the use_clock block
+        clock.advance(0.25)
+        assert context.spent().elapsed_s == pytest.approx(0.25)
+        clock.advance(1.0)
+        with pytest.raises(BudgetExceededError):
+            context.check_deadline()
+
+    def test_elapsed_is_exact_not_approximate(self):
+        clock = ManualClock()
+        context = ExecutionContext(clock=clock)
+        clock.advance(1.234)
+        assert context.spent().elapsed_s == 1.234
+
+    def test_comparison_deadline_check_is_throttled(self):
+        from repro.robustness.budget import DEADLINE_CHECK_EVERY
+
+        clock = ManualClock()
+        context = ExecutionContext(
+            Budget(deadline_s=0.001), clock=clock
+        )
+        clock.advance(1.0)  # deadline long gone
+        # below the throttle threshold: no clock read, no raise
+        context.tick_comparisons(DEADLINE_CHECK_EVERY - 1)
+        # crossing the threshold triggers the deferred check
+        with pytest.raises(BudgetExceededError) as info:
+            context.tick_comparisons(1)
+        assert info.value.resource == "deadline"
+
+    def test_row_ticks_always_check_deadline(self):
+        clock = ManualClock()
+        context = ExecutionContext(
+            Budget(deadline_s=0.001), clock=clock
+        )
+        clock.advance(1.0)
+        with pytest.raises(BudgetExceededError):
+            context.tick_rows(1)
 
 
 # ---------------------------------------------------------------------------
