@@ -68,11 +68,17 @@ from .obs import (
     write_trace_jsonl,
 )
 from .robustness import (
+    BatchJournal,
     Budget,
+    CircuitBreaker,
+    CircuitBreakerBoard,
+    DegradationLadder,
     ExecutionContext,
     FailureInfo,
     FaultPlan,
     QuestionOutcome,
+    ReplayedOutcome,
+    RetryPolicy,
     execution_context,
 )
 from .relational import (
@@ -147,19 +153,30 @@ def explain_outcomes(
     config: NedExplainConfig | None = None,
     cache: EvaluationCache | None = None,
     budget: Budget | None = None,
-) -> tuple[QuestionOutcome, ...]:
+    retry: RetryPolicy | None = None,
+    fallback_baseline: bool = False,
+    journal: BatchJournal | None = None,
+):
     """Fault-isolating variant of :func:`explain_batch`.
 
     Always returns one :class:`~repro.robustness.QuestionOutcome` per
     question -- a report, or a structured failure (error class, phase,
     budget spent) when that question failed.  Never raises for a
-    per-question failure.
+    per-question failure.  The resilience knobs (*retry*,
+    *fallback_baseline*, *journal*) are forwarded to
+    :meth:`~repro.core.nedexplain.NedExplain.explain_each`.
     """
     canonical = sql_to_canonical(sql, database.schema)
     engine = NedExplain(
         canonical, database=database, config=config, cache=cache
     )
-    return engine.explain_each(why_not_questions, budget=budget)
+    return engine.explain_each(
+        why_not_questions,
+        budget=budget,
+        retry=retry,
+        fallback_baseline=fallback_baseline,
+        journal=journal,
+    )
 
 
 __version__ = "1.0.0"
@@ -167,14 +184,18 @@ __version__ = "1.0.0"
 __all__ = [
     "AggregateCall",
     "BatchError",
+    "BatchJournal",
     "Budget",
     "BudgetExceededError",
     "CacheStats",
     "CanonicalQuery",
+    "CircuitBreaker",
+    "CircuitBreakerBoard",
     "ConfigurationError",
     "CTuple",
     "Database",
     "DatabaseInstance",
+    "DegradationLadder",
     "EvaluationCache",
     "ExecutionContext",
     "FailureInfo",
@@ -188,7 +209,9 @@ __all__ = [
     "Predicate",
     "QuestionOutcome",
     "Renaming",
+    "ReplayedOutcome",
     "ReproError",
+    "RetryPolicy",
     "SPJASpec",
     "Tracer",
     "Tuple",

@@ -71,6 +71,16 @@ class WhyNotBaselineReport:
     def is_empty(self) -> bool:
         return not self.answers
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (the ``--json`` CLI report format; also the
+        shape journalled for baseline-fallback outcomes)."""
+        return {
+            "answers": list(self.answer_labels),
+            "satisfied_constraints": list(self.satisfied_constraints),
+            "phase_times_ms": dict(self.phase_times_ms),
+            "total_time_ms": self.total_time_ms,
+        }
+
     def summary(self) -> str:
         lines = []
         if self.answers:

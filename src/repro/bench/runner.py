@@ -14,6 +14,7 @@ from ..baseline import WhyNotBaseline, WhyNotBaselineReport
 from ..core import NedExplain, NedExplainConfig, NedExplainReport
 from ..errors import BudgetExceededError, UnsupportedQueryError
 from ..robustness.budget import Budget
+from ..robustness.resilience import RetryPolicy
 from ..workloads.usecases import UseCase, use_case_setup
 
 
@@ -61,17 +62,31 @@ def run_use_case(
     run_baseline: bool = True,
     config: NedExplainConfig | None = None,
     budget: Budget | None = None,
+    retry: RetryPolicy | None = None,
 ) -> UseCaseResult:
     """Run one named use case with both algorithms.
 
     With a *budget*, NedExplain degrades to a partial report on
     exhaustion (``result.ned.partial``); the baseline, which has no
     partial-answer notion, is marked n.a. when its budget runs out so
-    a runaway baseline cannot stall a benchmark sweep.
+    a runaway baseline cannot stall a benchmark sweep.  With a *retry*
+    policy, the NedExplain run goes through the resilient
+    :meth:`~repro.core.nedexplain.NedExplain.explain_each` path --
+    transient faults (e.g. an injected chaos plan during a soak sweep)
+    are retried instead of aborting the benchmark.
     """
     use_case, database, canonical = use_case_setup(name, scale)
     ned_engine = NedExplain(canonical, database=database, config=config)
-    ned_report = ned_engine.explain(use_case.predicate, budget=budget)
+    if retry is not None:
+        (outcome,) = ned_engine.explain_each(
+            [use_case.predicate], budget=budget, retry=retry
+        )
+        if outcome.report is None:
+            assert outcome.error is not None
+            raise outcome.error
+        ned_report = outcome.report
+    else:
+        ned_report = ned_engine.explain(use_case.predicate, budget=budget)
 
     whynot_report: WhyNotBaselineReport | None = None
     whynot_na = False

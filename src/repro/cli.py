@@ -41,31 +41,43 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Sequence, TextIO
 
 from .baseline import WhyNotBaseline
 from .core import NedExplain
 from .core.repairs import suggest_repairs, verify_repair
-from .errors import ReproError, UnsupportedQueryError
+from .errors import ConfigurationError, ReproError, UnsupportedQueryError
 from .obs import (
+    ManualClock,
     Tracer,
     render_trace,
     tracing,
+    use_clock,
     write_chrome_trace,
     write_trace_jsonl,
 )
 from .relational.csv_io import load_database
 from .relational.evaluator import evaluate_query
 from .relational.sql import sql_to_canonical
-from .robustness import Budget
+from .robustness import BatchJournal, Budget, RetryPolicy
 
-#: exit codes: 0 = success, 2 = fatal error, 3 = the run completed but
-#: degraded -- a batch with per-question failures, or a budget-limited
-#: explain that returned a partial report
+#: exit codes (the full table lives in docs/robustness.md):
+#: 0 = success; 2 = fatal error; 3 = the run completed but degraded --
+#: a batch with per-question failures, a budget-limited partial report,
+#: or a question answered by the baseline fallback; 4 = resilience was
+#: requested (--retries / --fallback-baseline) and at least one
+#: question still produced no answer at any ladder rung
 EXIT_OK = 0
 EXIT_ERROR = 2
 EXIT_DEGRADED = 3
+EXIT_NO_FALLBACK = 4
+
+#: Environment hook: run the whole CLI on a ManualClock, so every
+#: reported duration is deterministically 0.0 -- the kill/resume
+#: differential test compares --json documents byte-for-byte this way.
+MANUAL_CLOCK_ENV = "REPRO_MANUAL_CLOCK"
 
 
 class OutputWriter:
@@ -221,6 +233,43 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="cap on tuple comparisons performed per question",
     )
+    resilience = explain.add_argument_group("resilience")
+    resilience.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="max attempts per question (default: 1, no retry); "
+        "transient faults are re-attempted with exponential backoff",
+    )
+    resilience.add_argument(
+        "--retry-backoff-ms",
+        dest="retry_backoff_ms",
+        type=float,
+        default=100.0,
+        metavar="MS",
+        help="base backoff before the first retry (default: 100)",
+    )
+    resilience.add_argument(
+        "--fallback-baseline",
+        dest="fallback_baseline",
+        action="store_true",
+        help="when a question exhausts its retries, answer it with "
+        "the Why-Not baseline instead of failing",
+    )
+    resilience.add_argument(
+        "--journal",
+        metavar="FILE",
+        default=None,
+        help="write-ahead log of per-question outcomes (JSONL, "
+        "fsync + checksum per record)",
+    )
+    resilience.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed questions from --journal and compute "
+        "only the remainder",
+    )
     _add_common_options(explain)
 
     demo = commands.add_parser(
@@ -237,6 +286,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    if os.environ.get(MANUAL_CLOCK_ENV):
+        # deterministic-clock mode: every measured duration is 0.0, so
+        # two runs over the same inputs emit identical --json documents
+        with use_clock(ManualClock()):
+            return _main(argv)
+    return _main(argv)
+
+
+def _main(argv: Sequence[str] | None) -> int:
     args = build_parser().parse_args(argv)
     writer = OutputWriter(json_mode=getattr(args, "json", False))
     writer.set("command", args.command)
@@ -343,7 +401,17 @@ def _run_explain(args, writer: OutputWriter) -> int:
     questions = list(args.why_not)
     writer.set("questions", questions)
     budget = _budget_from(args)
-    if args.batch or len(questions) > 1:
+    if args.resume and not args.journal:
+        raise ConfigurationError("--resume requires --journal FILE")
+    if (
+        args.batch
+        or len(questions) > 1
+        or args.retries is not None
+        or args.fallback_baseline
+        or args.journal
+    ):
+        # every resilience feature runs through the outcome-producing
+        # batch path, even for a single question
         return _run_explain_batch(
             args, writer, database, canonical, questions, budget
         )
@@ -387,24 +455,71 @@ def _run_explain_batch(
 
     Fault-isolating: every question resolves to a report or a recorded
     failure; one bad question never drops the rest of the batch.  The
-    exit code is 3 (not 0) when any question failed or was degraded.
+    exit code is 3 (not 0) when any question failed or was degraded,
+    and 4 when resilience was requested (--retries /
+    --fallback-baseline) but a question still got no answer at any
+    degradation rung.
     """
     from .relational import EvaluationCache
 
+    retry = None
+    if args.retries is not None:
+        retry = RetryPolicy(
+            max_attempts=args.retries,
+            backoff_ms=args.retry_backoff_ms,
+        )
+    journal = None
+    if args.journal:
+        journal = BatchJournal(args.journal, resume=args.resume)
+        writer.set("journal", str(journal.path))
+
     cache = EvaluationCache()
     engine = NedExplain(canonical, database=database, cache=cache)
-    outcomes = engine.explain_each(questions, budget=budget)
+    try:
+        outcomes = engine.explain_each(
+            questions,
+            budget=budget,
+            retry=retry,
+            fallback_baseline=args.fallback_baseline,
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     degraded = False
+    unanswered = False
     for question, outcome in zip(questions, outcomes):
         writer.append("outcomes", outcome.to_dict())
         writer.line(f"why-not {question}")
-        if outcome.ok:
+        if outcome.replayed:
+            writer.line(
+                "  (replayed from journal, "
+                f"level={outcome.degradation_level})"
+            )
+            degraded = degraded or outcome.degradation_level != "full"
+            unanswered = unanswered or not outcome.ok
+            writer.line()
+            continue
+        if outcome.report is not None:
             writer.block(outcome.report.summary())
             degraded = degraded or outcome.report.partial
+        elif outcome.baseline is not None:
+            writer.line(
+                "  degraded to Why-Not baseline "
+                f"(after {outcome.attempts} attempt(s)):"
+            )
+            writer.block(outcome.baseline.summary())
+            degraded = True
         else:
             writer.line(f"  FAILED: {outcome.failure.describe()}")
             degraded = True
+            unanswered = True
         writer.line()
+    if journal is not None and journal.replayable_count:
+        writer.line(
+            f"resumed: {journal.replayable_count} question(s) "
+            "replayed from the journal"
+        )
     stats = cache.stats
     writer.set(
         "batch",
@@ -446,6 +561,9 @@ def _run_explain_batch(
                     )
                     writer.line(f"  FAILED: {message}")
                     degraded = True
+    resilient = args.retries is not None or args.fallback_baseline
+    if resilient and unanswered:
+        return EXIT_NO_FALLBACK
     return EXIT_DEGRADED if degraded else EXIT_OK
 
 

@@ -191,6 +191,14 @@ class NedExplainReport:
     def total_time_ms(self) -> float:
         return sum(self.phase_times_ms.values())
 
+    @property
+    def degradation_level(self) -> str:
+        """The ladder rung this report sits on: ``"full"`` or
+        ``"partial"`` (a report can never be the ``"baseline"`` or
+        ``"failed"`` rung -- those live on the
+        :class:`~repro.robustness.outcomes.QuestionOutcome`)."""
+        return "partial" if self.partial else "full"
+
     def is_empty(self) -> bool:
         return all(answer.is_empty() for answer in self.answers)
 
@@ -202,6 +210,7 @@ class NedExplainReport:
             "total_time_ms": self.total_time_ms,
             "partial": self.partial,
             "degraded_reason": self.degraded_reason,
+            "degradation_level": self.degradation_level,
         }
 
     def summary(self) -> str:

@@ -46,13 +46,20 @@ from ..obs.clock import perf_counter
 from ..obs.trace import current_tracer
 from ..relational.instance import DatabaseInstance
 from ..relational.tuples import Tuple
+from ..robustness.breaker import CircuitBreakerBoard
 from ..robustness.budget import (
     Budget,
     ExecutionContext,
     current_context,
     execution_context,
 )
-from ..robustness.outcomes import FailureInfo, QuestionOutcome
+from ..robustness.journal import BatchJournal
+from ..robustness.outcomes import (
+    FailureInfo,
+    QuestionOutcome,
+    ReplayedOutcome,
+)
+from ..robustness.resilience import DegradationLadder, RetryPolicy
 from .answers import DetailedEntry, NedExplainReport, WhyNotAnswer
 from .canonical import CanonicalQuery
 from .compatibility import (
@@ -123,6 +130,9 @@ class NedExplainConfig:
     ``explain``/``explain_each`` call that does not pass its own; when
     it runs out the call returns an explicit *degraded* report
     (``report.partial``) instead of raising.
+    ``retry`` is the default :class:`~repro.robustness.resilience.RetryPolicy`
+    applied by ``explain_each`` to questions that fail with a transient
+    error (again overridable per call).
     """
 
     early_termination: bool = True
@@ -130,6 +140,7 @@ class NedExplainConfig:
     check_answer_presence: bool = True
     use_shared_evaluation: bool = True
     budget: Budget | None = None
+    retry: RetryPolicy | None = None
 
 
 class NedExplain:
@@ -319,8 +330,13 @@ class NedExplain:
         self,
         predicates: Iterable[Predicate | CTuple | str],
         budget: Budget | None = None,
-    ) -> tuple[QuestionOutcome, ...]:
-        """Fault-isolating batch: one outcome per question, always.
+        retry: RetryPolicy | None = None,
+        breakers: CircuitBreakerBoard | None = None,
+        fallback_baseline: bool = False,
+        ladder: DegradationLadder | None = None,
+        journal: BatchJournal | None = None,
+    ) -> tuple[QuestionOutcome | ReplayedOutcome, ...]:
+        """Fault-isolating, resilient batch: one outcome per question.
 
         Each question gets a fresh per-question
         :class:`~repro.robustness.budget.ExecutionContext` (built from
@@ -331,47 +347,147 @@ class NedExplain:
         entry in the shared cache.  Unexpected non-library exceptions
         are wrapped in :class:`~repro.errors.EvaluationError` so the
         ``except ReproError`` contract holds for callers.
+
+        Resilience knobs (all optional; defaults reproduce the plain
+        fault-isolated batch):
+
+        *retry*
+            a :class:`~repro.robustness.resilience.RetryPolicy`
+            (falling back to ``config.retry``): transient failures are
+            re-attempted with deterministic backoff on the ambient
+            clock; ``outcome.attempts`` counts what each question
+            consumed.
+        *breakers*
+            a :class:`~repro.robustness.breaker.CircuitBreakerBoard`
+            consulted between attempts; a fresh board is created when
+            a retry policy is active and none is passed.  An open
+            breaker for the failing site stops further retries -- the
+            question drops down the degradation ladder instead of
+            hammering a persistently broken site.
+        *fallback_baseline* / *ladder*
+            when retries are exhausted, answer with the Why-Not
+            baseline instead of failing
+            (``outcome.degradation_level == "baseline"``,
+            the answer in ``outcome.baseline``).
+        *journal*
+            a :class:`~repro.robustness.journal.BatchJournal`: every
+            resolved outcome is durably appended before the next
+            question starts, and questions a previous (killed) run
+            already completed are replayed verbatim as
+            :class:`~repro.robustness.outcomes.ReplayedOutcome`\\ s.
         """
         effective = budget if budget is not None else self.config.budget
-        outcomes: list[QuestionOutcome] = []
-        for predicate in predicates:
-            context = ExecutionContext(effective)
+        if retry is None:
+            retry = self.config.retry
+        if breakers is None and retry is not None:
+            breakers = CircuitBreakerBoard()
+        if ladder is None and fallback_baseline:
+            ladder = DegradationLadder.for_engine(self)
+        outcomes: list[QuestionOutcome | ReplayedOutcome] = []
+        for index, predicate in enumerate(predicates):
+            if journal is not None:
+                replay = journal.completed(index, str(predicate))
+                if replay is not None:
+                    outcomes.append(
+                        ReplayedOutcome(question=predicate, record=replay)
+                    )
+                    continue
+            outcome = self._resolve_outcome(
+                predicate, effective, retry, breakers, ladder
+            )
+            if journal is not None:
+                journal.record(index, str(predicate), outcome.to_dict())
+            outcomes.append(outcome)
+        return tuple(outcomes)
+
+    def _resolve_outcome(
+        self,
+        predicate: Predicate | CTuple | str,
+        budget: Budget | None,
+        retry: RetryPolicy | None,
+        breakers: CircuitBreakerBoard | None,
+        ladder: DegradationLadder | None,
+    ) -> QuestionOutcome:
+        """One question, driven to an outcome through the resilience
+        machinery: attempt -> retry (backoff, breaker-gated) ->
+        degradation ladder -> structured failure."""
+        max_attempts = retry.max_attempts if retry is not None else 1
+        question_key = str(predicate)
+        attempts = 0
+        failed_site: str | None = None
+        last_error: ReproError | None = None
+        last_context: ExecutionContext | None = None
+        while attempts < max_attempts:
+            attempts += 1
+            context = ExecutionContext(budget)
             try:
                 with execution_context(context):
                     report = self.explain(predicate)
-                outcomes.append(
-                    QuestionOutcome(question=predicate, report=report)
-                )
             except ReproError as exc:
-                outcomes.append(
-                    QuestionOutcome(
-                        question=predicate,
-                        failure=FailureInfo.from_error(
-                            exc,
-                            phase=context.phase,
-                            spent=context.spent(),
-                        ),
-                        error=exc,
-                    )
-                )
+                error: ReproError = exc
             except Exception as exc:  # noqa: BLE001 -- containment
                 wrapped = EvaluationError(
                     f"unexpected {type(exc).__name__} while explaining "
                     f"{predicate!r}: {exc}"
                 )
                 wrapped.__cause__ = exc
-                outcomes.append(
-                    QuestionOutcome(
-                        question=predicate,
-                        failure=FailureInfo.from_error(
-                            wrapped,
-                            phase=context.phase,
-                            spent=context.spent(),
-                        ),
-                        error=wrapped,
-                    )
+                error = wrapped
+            else:
+                if failed_site is not None and breakers is not None:
+                    # a half-open probe (or plain retry) succeeded:
+                    # report the recovery so the breaker can close
+                    breakers.record_success(failed_site)
+                return QuestionOutcome(
+                    question=predicate,
+                    report=report,
+                    attempts=attempts,
                 )
-        return tuple(outcomes)
+            # ---- failure path -------------------------------------
+            failed_site = (
+                getattr(error, "site", None) or type(error).__name__
+            )
+            if breakers is not None:
+                breakers.record_failure(failed_site)
+            last_error, last_context = error, context
+            if (
+                retry is None
+                or attempts >= max_attempts
+                or not retry.is_retryable(error)
+            ):
+                break
+            if breakers is not None and not breakers.allow(failed_site):
+                break  # breaker open: stop hammering this site
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.metrics.counter("resilience.retries").inc()
+                tracer.metrics.counter(
+                    f"resilience.retries.{failed_site}"
+                ).inc()
+            retry.wait(attempts - 1, key=question_key)
+        assert last_error is not None and last_context is not None
+        failure = FailureInfo.from_error(
+            last_error,
+            phase=last_context.phase,
+            spent=last_context.spent(),
+            attempts=attempts,
+        )
+        if ladder is not None:
+            baseline = ladder.baseline_answer(predicate)
+            if baseline is not None:
+                return QuestionOutcome(
+                    question=predicate,
+                    failure=failure,
+                    error=last_error,
+                    attempts=attempts,
+                    degradation_level="baseline",
+                    baseline=baseline,
+                )
+        return QuestionOutcome(
+            question=predicate,
+            failure=failure,
+            error=last_error,
+            attempts=attempts,
+        )
 
     def _note_phase(self, name: str) -> None:
         """Point the ambient execution context at the running phase."""

@@ -142,6 +142,17 @@ class InjectedFaultError(ReproError):
         self.call_index = call_index
 
 
+class JournalError(ReproError):
+    """A batch journal cannot be trusted for the requested resume.
+
+    Raised when a journal record at some index names a different
+    question than the batch being resumed -- replaying it would silently
+    merge two unrelated runs.  Torn or corrupt trailing records are
+    *not* an error: the write-ahead log simply stops replaying at the
+    first record that fails its checksum (crash-safety by design).
+    """
+
+
 class BatchError(ReproError):
     """At least one question of a fault-isolated batch failed.
 

@@ -16,6 +16,20 @@ Lee et al. 2020).  This package provides the three pieces:
 * :mod:`~repro.robustness.faults` -- :class:`FaultPlan` and the
   :func:`fault_point` sites: deterministic, seedable fault injection
   used by the chaos test suite to prove failure containment.
+
+The resilience layer on top makes failures *recoverable*, not just
+contained:
+
+* :mod:`~repro.robustness.resilience` -- :class:`RetryPolicy`
+  (exponential backoff, deterministic jitter, clock-injected waits)
+  and the :class:`DegradationLadder` (full report -> partial report ->
+  Why-Not baseline answer -> structured failure);
+* :mod:`~repro.robustness.breaker` -- per-fault-site
+  :class:`CircuitBreaker`\\ s that stop retries from hammering a
+  persistently failing site;
+* :mod:`~repro.robustness.journal` -- :class:`BatchJournal`, the
+  fsync-per-record write-ahead log that lets a killed batch resume
+  where it died.
 """
 
 from ..errors import (
@@ -23,6 +37,7 @@ from ..errors import (
     BudgetExceededError,
     ConfigurationError,
     InjectedFaultError,
+    JournalError,
 )
 from .budget import (
     Budget,
@@ -40,14 +55,27 @@ from .faults import (
     fault_point,
     inject,
 )
-from .outcomes import FailureInfo, QuestionOutcome
+from .breaker import CircuitBreaker, CircuitBreakerBoard
+from .journal import BatchJournal
+from .outcomes import (
+    DEGRADATION_LEVELS,
+    FailureInfo,
+    QuestionOutcome,
+    ReplayedOutcome,
+)
+from .resilience import DegradationLadder, RetryPolicy
 
 __all__ = [
     "BatchError",
+    "BatchJournal",
     "Budget",
     "BudgetExceededError",
     "BudgetSpent",
+    "CircuitBreaker",
+    "CircuitBreakerBoard",
     "ConfigurationError",
+    "DEGRADATION_LEVELS",
+    "DegradationLadder",
     "ExecutionContext",
     "FAULT_KINDS",
     "FAULT_SITES",
@@ -55,7 +83,10 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFaultError",
+    "JournalError",
     "QuestionOutcome",
+    "ReplayedOutcome",
+    "RetryPolicy",
     "active_plan",
     "current_context",
     "execution_context",

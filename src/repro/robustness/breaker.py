@@ -1,0 +1,228 @@
+"""Per-fault-site circuit breakers (closed -> open -> half-open).
+
+A retry policy alone makes a *persistently* failing site worse: every
+question burns its full attempt budget hammering the same broken
+dependency.  A :class:`CircuitBreaker` watches the failure rate of one
+named site over a sliding window of recent calls and, once the rate
+crosses the threshold, *opens*: further retries against that site are
+refused immediately (the caller drops straight down the degradation
+ladder).  After a cooldown -- measured on the injectable clock of
+:mod:`repro.obs.clock`, so tests drive it with a
+:class:`~repro.obs.clock.ManualClock` -- the breaker lets one probe
+through (*half-open*); a success closes it again, a failure re-opens
+it for another cooldown.
+
+Breakers surface their behaviour through the ambient tracer's metrics:
+
+* ``breaker.opens`` / ``breaker.opens.<site>`` -- counter, incremented
+  on every closed/half-open -> open transition;
+* ``breaker.state.<site>`` -- gauge holding the current
+  :data:`STATE_CODES` value (0 closed, 1 half-open, 2 open).
+
+Sites are the same names the fault-injection layer uses
+(:data:`repro.robustness.faults.FAULT_SITES`); errors without a site
+(no ``error.site`` attribute) are keyed by their error class, so the
+breaker still converges on e.g. a persistently failing evaluator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import ConfigurationError
+from ..obs.clock import Clock, current_clock
+from ..obs.trace import current_tracer
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "STATE_CODES",
+    "CircuitBreaker",
+    "CircuitBreakerBoard",
+]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding of the states for the ``breaker.state.<site>`` gauge.
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Failure-rate breaker for one site.
+
+    ``window`` bounds the sliding window of recorded call results;
+    the breaker trips when at least ``min_calls`` results are in the
+    window and the failure fraction reaches ``failure_threshold``.
+    Not thread-safe (the engine is single-threaded per batch).
+    """
+
+    def __init__(
+        self,
+        site: str,
+        window: int = 16,
+        failure_threshold: float = 0.5,
+        min_calls: int = 4,
+        cooldown_s: float = 30.0,
+        clock: Clock | None = None,
+    ):
+        if window < 1:
+            raise ConfigurationError(
+                f"window must be >= 1, got {window}"
+            )
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ConfigurationError(
+                f"failure_threshold must be in (0, 1], got "
+                f"{failure_threshold!r}"
+            )
+        if min_calls < 1 or min_calls > window:
+            raise ConfigurationError(
+                f"min_calls must be in [1, window={window}], got "
+                f"{min_calls}"
+            )
+        if cooldown_s < 0:
+            raise ConfigurationError(
+                f"cooldown_s must be >= 0, got {cooldown_s!r}"
+            )
+        self.site = site
+        self.failure_threshold = failure_threshold
+        self.min_calls = min_calls
+        self.cooldown_s = cooldown_s
+        self.clock = clock if clock is not None else current_clock()
+        self.state = CLOSED
+        #: closed/half-open -> open transitions since construction
+        self.opens = 0
+        self._results: deque[bool] = deque(maxlen=window)
+        self._opened_at: float | None = None
+        self._publish_state()
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May the caller attempt this site right now?
+
+        An open breaker transitions to half-open (and admits one probe)
+        once its cooldown has elapsed on the clock.
+        """
+        if self.state == OPEN:
+            assert self._opened_at is not None
+            if (
+                self.clock.monotonic() - self._opened_at
+                >= self.cooldown_s
+            ):
+                self._transition(HALF_OPEN)
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self._results.append(True)
+        if self.state == HALF_OPEN:
+            # the probe came back healthy: close and forget the past
+            self._results.clear()
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        self._results.append(False)
+        if self.state == HALF_OPEN:
+            self._trip()  # the probe failed: straight back to open
+            return
+        if self.state == CLOSED and len(self._results) >= self.min_calls:
+            failures = sum(1 for ok in self._results if not ok)
+            if failures / len(self._results) >= self.failure_threshold:
+                self._trip()
+
+    @property
+    def failure_rate(self) -> float:
+        if not self._results:
+            return 0.0
+        return sum(1 for ok in self._results if not ok) / len(
+            self._results
+        )
+
+    # ------------------------------------------------------------------
+    def _trip(self) -> None:
+        self.opens += 1
+        self._opened_at = self.clock.monotonic()
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.counter("breaker.opens").inc()
+            tracer.metrics.counter(f"breaker.opens.{self.site}").inc()
+        self._transition(OPEN)
+
+    def _transition(self, state: str) -> None:
+        self.state = state
+        self._publish_state()
+
+    def _publish_state(self) -> None:
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.gauge(f"breaker.state.{self.site}").set(
+                STATE_CODES[self.state]
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.site!r}, state={self.state}, "
+            f"rate={self.failure_rate:.2f}, opens={self.opens})"
+        )
+
+
+class CircuitBreakerBoard:
+    """Lazily-created breakers, one per site, sharing one configuration.
+
+    ``NedExplain.explain_each`` consults the board between retry
+    attempts: a failure at site S is recorded against S's breaker, and
+    further retries are skipped while that breaker refuses the site.
+    Pass a board explicitly to share breaker state across batches (a
+    long-lived service wants the breaker memory to outlive one call).
+    """
+
+    def __init__(
+        self,
+        window: int = 16,
+        failure_threshold: float = 0.5,
+        min_calls: int = 4,
+        cooldown_s: float = 30.0,
+        clock: Clock | None = None,
+    ):
+        self._config = dict(
+            window=window,
+            failure_threshold=failure_threshold,
+            min_calls=min_calls,
+            cooldown_s=cooldown_s,
+        )
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, site: str) -> CircuitBreaker:
+        existing = self._breakers.get(site)
+        if existing is None:
+            existing = CircuitBreaker(
+                site, clock=self._clock, **self._config
+            )
+            self._breakers[site] = existing
+        return existing
+
+    def allow(self, site: str) -> bool:
+        return self.breaker(site).allow()
+
+    def record_success(self, site: str) -> None:
+        self.breaker(site).record_success()
+
+    def record_failure(self, site: str) -> None:
+        self.breaker(site).record_failure()
+
+    def states(self) -> dict[str, str]:
+        """Current state per site (for reports and tests)."""
+        return {
+            site: breaker.state
+            for site, breaker in sorted(self._breakers.items())
+        }
+
+    def __len__(self) -> int:
+        return len(self._breakers)
+
+    def __repr__(self) -> str:
+        return f"CircuitBreakerBoard({self.states()!r})"

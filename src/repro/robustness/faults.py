@@ -153,6 +153,28 @@ class FaultPlan:
         self.calls = {}
         self.fired = []
 
+    def snapshot(self) -> dict[str, int]:
+        """A frozen copy of the per-site call counts.
+
+        Take one before an attempt and diff with :meth:`delta` after it
+        to assert exactly which sites (and how many calls) that attempt
+        consumed -- the retry chaos tests pin down which attempt a
+        retried fault burned this way.
+        """
+        return dict(self.calls)
+
+    def delta(self, since: dict[str, int]) -> dict[str, int]:
+        """Per-site calls made after *since* (a :meth:`snapshot`).
+
+        Only sites with a positive delta appear in the result.
+        """
+        out: dict[str, int] = {}
+        for site, count in self.calls.items():
+            consumed = count - since.get(site, 0)
+            if consumed > 0:
+                out[site] = consumed
+        return out
+
     def __repr__(self) -> str:
         return (
             f"FaultPlan(seed={self.seed}, specs={list(self.specs)!r}, "
@@ -176,9 +198,20 @@ def fault_point(site: str) -> None:
 
 
 @contextmanager
-def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
-    """Install *plan* for the duration of the block."""
+def inject(plan: FaultPlan, fresh: bool = True) -> Iterator[FaultPlan]:
+    """Install *plan* for the duration of the block.
+
+    By default the plan's counters are :meth:`~FaultPlan.reset` on
+    entry, so a plan object reused across several ``inject`` blocks
+    fires identically each time.  (Counters used to leak across
+    reuses: the second block inherited the first block's call counts,
+    silently shifting -- usually disabling -- every spec.)  Pass
+    ``fresh=False`` to deliberately continue a previous block's
+    schedule.
+    """
     global _ACTIVE
+    if fresh:
+        plan.reset()
     previous = _ACTIVE
     _ACTIVE = plan
     try:

@@ -1,0 +1,186 @@
+"""Crash-safe batch journal: an append-only JSONL write-ahead log.
+
+A killed batch should not restart from zero.  A :class:`BatchJournal`
+records every resolved :class:`~repro.robustness.outcomes.QuestionOutcome`
+as one JSON line -- flushed and ``fsync``-ed before the next question
+starts, with a SHA-256 checksum over the record's canonical JSON -- so
+whatever survives a crash is exactly the set of fully-completed
+questions.  On resume, ``NedExplain.explain_each(journal=...)`` replays
+the journalled outcomes verbatim and computes only the remainder; the
+merged result is identical to an uninterrupted run.
+
+Crash-safety rules on load:
+
+* a torn trailing line (the process died mid-``write``) is discarded;
+* replay stops at the *first* record that fails to parse or verify --
+  an append-only log is only trustworthy up to its first corruption;
+* a record whose question text differs from the batch being resumed
+  raises :class:`~repro.errors.JournalError`: that journal belongs to
+  a different batch, and replaying it would silently merge two runs.
+
+The ``REPRO_JOURNAL_CRASH_AFTER`` environment variable makes the
+journal SIGKILL its own process immediately after the N-th record is
+durably appended -- the deterministic "pull the plug" hook the
+kill/resume differential test (and the ``chaos-resume`` CI job) is
+built on.  It is inert unless explicitly set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..errors import ConfigurationError, JournalError
+
+__all__ = ["BatchJournal"]
+
+#: Journal record format version.
+JOURNAL_VERSION = 1
+
+#: Environment hook: SIGKILL this process after N durable appends.
+CRASH_AFTER_ENV = "REPRO_JOURNAL_CRASH_AFTER"
+
+
+def _checksum(record: Mapping[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of *record* (checksum excluded)."""
+    payload = {k: v for k, v in record.items() if k != "checksum"}
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class BatchJournal:
+    """Write-ahead log of per-question outcomes for one batch.
+
+    ``resume=False`` (the default) truncates any existing file: the
+    journal describes exactly one run.  ``resume=True`` loads the valid
+    record prefix of an existing journal and appends new records after
+    it; :meth:`completed` then serves the replayed outcomes.
+    """
+
+    def __init__(self, path: str | Path, resume: bool = False):
+        self.path = Path(path)
+        self.resume = resume
+        self._records: dict[int, dict] = {}
+        self.discarded = 0  # torn/corrupt records dropped on load
+        if resume and self.path.exists():
+            self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(
+            self.path, "a" if resume else "w", encoding="utf-8"
+        )
+        self._appended = 0
+        raw = os.environ.get(CRASH_AFTER_ENV, "")
+        self._crash_after = int(raw) if raw.strip() else 0
+
+    # ------------------------------------------------------------------
+    # Load (resume)
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                self.discarded += 1
+                break  # torn write: nothing after it is trustworthy
+            if not self._verify(record):
+                self.discarded += 1
+                break
+            self._records[int(record["index"])] = record
+
+    @staticmethod
+    def _verify(record: Any) -> bool:
+        if not isinstance(record, dict):
+            return False
+        required = {"v", "index", "question", "outcome", "checksum"}
+        if not required <= set(record):
+            return False
+        if record["v"] != JOURNAL_VERSION:
+            return False
+        return _checksum(record) == record["checksum"]
+
+    # ------------------------------------------------------------------
+    # API used by explain_each
+    # ------------------------------------------------------------------
+    def completed(self, index: int, question: str) -> dict | None:
+        """The journalled outcome dict for *index*, or ``None``.
+
+        Raises :class:`~repro.errors.JournalError` when the journal has
+        a record at *index* for a *different* question -- the log
+        belongs to another batch.
+        """
+        record = self._records.get(index)
+        if record is None:
+            return None
+        if record["question"] != question:
+            raise JournalError(
+                f"journal {self.path} records question "
+                f"{record['question']!r} at index {index}, but the "
+                f"batch being resumed asks {question!r} there -- "
+                "refusing to merge unrelated runs"
+            )
+        return record["outcome"]
+
+    def record(
+        self, index: int, question: str, outcome: Mapping[str, Any]
+    ) -> None:
+        """Durably append one resolved question (write + flush + fsync)."""
+        if self._file.closed:
+            raise ConfigurationError(
+                f"journal {self.path} is closed; no further records "
+                "can be appended"
+            )
+        entry: dict[str, Any] = {
+            "v": JOURNAL_VERSION,
+            "index": index,
+            "question": question,
+            "outcome": dict(outcome),
+        }
+        entry["checksum"] = _checksum(entry)
+        self._file.write(
+            json.dumps(entry, sort_keys=True, default=str) + "\n"
+        )
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._records[index] = entry
+        self._appended += 1
+        if self._crash_after and self._appended >= self._crash_after:
+            # the chaos-resume harness: die like a power cut, AFTER the
+            # record is durable -- no atexit, no buffers, no cleanup
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    # ------------------------------------------------------------------
+    @property
+    def replayable_count(self) -> int:
+        """Records loaded from a previous run (before any appends)."""
+        return len(self._records) - self._appended
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "BatchJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchJournal({str(self.path)!r}, records={len(self)}, "
+            f"resume={self.resume})"
+        )

@@ -7,6 +7,15 @@ corrupted input -- took the whole batch down with it.  A
 resolves to either a report or a structured :class:`FailureInfo`
 (error class, phase, budget spent), in question order, always N
 outcomes for N questions.
+
+The resilience layer (PR 4) extends each outcome with *how* it was
+reached: ``attempts`` counts the retry attempts consumed, and
+``degradation_level`` names the rung of the degradation ladder that
+resolved the question -- ``"full"`` (a complete report),
+``"partial"`` (a budget-degraded report), ``"baseline"`` (the Why-Not
+baseline answered after NedExplain's retries were exhausted; the
+answer lives in ``outcome.baseline``, the triggering error in
+``outcome.failure``), or ``"failed"`` (nothing produced an answer).
 """
 
 from __future__ import annotations
@@ -17,8 +26,17 @@ from typing import TYPE_CHECKING, Any
 from ..errors import ReproError
 from .budget import BudgetSpent
 
-if TYPE_CHECKING:  # avoid a runtime cycle with repro.core
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.core / repro.baseline
+    from ..baseline.whynot import WhyNotBaselineReport
     from ..core.answers import NedExplainReport
+
+#: The rungs of the degradation ladder, best first.
+DEGRADATION_LEVELS: tuple[str, ...] = (
+    "full",
+    "partial",
+    "baseline",
+    "failed",
+)
 
 
 @dataclass(frozen=True)
@@ -32,6 +50,8 @@ class FailureInfo:
     phase: str | None = None
     #: budget charged to the question before it failed, if tracked
     spent: BudgetSpent | None = None
+    #: attempts consumed before the question was given up on
+    attempts: int = 1
 
     @classmethod
     def from_error(
@@ -39,6 +59,7 @@ class FailureInfo:
         error: BaseException,
         phase: str | None = None,
         spent: BudgetSpent | None = None,
+        attempts: int = 1,
     ) -> "FailureInfo":
         return cls(
             error_class=type(error).__name__,
@@ -49,6 +70,7 @@ class FailureInfo:
             spent=spent if spent is not None else getattr(
                 error, "spent", None
             ),
+            attempts=attempts,
         )
 
     def to_dict(self) -> dict:
@@ -60,6 +82,7 @@ class FailureInfo:
             "spent": self.spent.to_dict()
             if self.spent is not None
             else None,
+            "attempts": self.attempts,
         }
 
     def describe(self) -> str:
@@ -72,29 +95,63 @@ class FailureInfo:
                 f"comparisons={self.spent.comparisons} "
                 f"elapsed={self.spent.elapsed_s:.3f}s"
             )
+        if self.attempts > 1:
+            parts.append(f"attempts={self.attempts}")
         return " | ".join(parts)
 
 
 @dataclass(frozen=True)
 class QuestionOutcome:
-    """Resolution of one question of a batch: report or failure."""
+    """Resolution of one question of a batch: report, fallback, or failure."""
+
+    #: outcomes computed in this process are never journal replays
+    replayed = False
 
     question: Any
     report: "NedExplainReport | None" = None
     failure: FailureInfo | None = None
     #: the original exception, for callers that want to re-raise
     error: ReproError | None = None
+    #: total attempts consumed (1 = first try, no retry)
+    attempts: int = 1
+    #: the ladder rung that resolved the question (see
+    #: :data:`DEGRADATION_LEVELS`); derived when left at the default
+    degradation_level: str = "full"
+    #: the Why-Not baseline answer, when the ladder fell back to it
+    baseline: "WhyNotBaselineReport | None" = None
 
     def __post_init__(self) -> None:
-        if (self.report is None) == (self.failure is None):
+        if self.baseline is not None and self.report is not None:
+            raise ValueError(
+                "a baseline-fallback outcome carries no full report"
+            )
+        if self.baseline is None and (
+            (self.report is None) == (self.failure is None)
+        ):
             raise ValueError(
                 "a QuestionOutcome carries exactly one of report / "
-                "failure"
+                "failure (or a baseline fallback)"
+            )
+        # derive a consistent level when the caller left the default
+        if self.degradation_level == "full":
+            if self.baseline is not None:
+                object.__setattr__(self, "degradation_level", "baseline")
+            elif self.report is None:
+                object.__setattr__(self, "degradation_level", "failed")
+            elif getattr(self.report, "partial", False):
+                object.__setattr__(self, "degradation_level", "partial")
+        if self.degradation_level not in DEGRADATION_LEVELS:
+            raise ValueError(
+                f"unknown degradation level "
+                f"{self.degradation_level!r}; choose from "
+                f"{DEGRADATION_LEVELS}"
             )
 
     @property
     def ok(self) -> bool:
-        return self.failure is None
+        """True when *some* answer was produced -- a report at any
+        ladder rung, including the baseline fallback."""
+        return self.report is not None or self.baseline is not None
 
     @property
     def partial(self) -> bool:
@@ -114,6 +171,11 @@ class QuestionOutcome:
             "failure": self.failure.to_dict()
             if self.failure is not None
             else None,
+            "attempts": self.attempts,
+            "degradation_level": self.degradation_level,
+            "baseline": self.baseline.to_dict()
+            if self.baseline is not None
+            else None,
         }
 
     def unwrap(self) -> "NedExplainReport":
@@ -126,11 +188,66 @@ class QuestionOutcome:
         raise ReproError(self.failure.describe())
 
     def __repr__(self) -> str:
+        level = (
+            f", level={self.degradation_level}"
+            if self.degradation_level != "full"
+            else ""
+        )
+        tries = f", attempts={self.attempts}" if self.attempts > 1 else ""
         if self.ok:
             flag = " (partial)" if self.partial else ""
-            return f"QuestionOutcome(ok{flag}, {self.question!r})"
+            return (
+                f"QuestionOutcome(ok{flag}{level}{tries}, "
+                f"{self.question!r})"
+            )
         assert self.failure is not None
         return (
-            f"QuestionOutcome(failed {self.failure.error_class}, "
-            f"{self.question!r})"
+            f"QuestionOutcome(failed {self.failure.error_class}"
+            f"{level}{tries}, {self.question!r})"
         )
+
+
+@dataclass(frozen=True)
+class ReplayedOutcome:
+    """An outcome served verbatim from a :class:`~repro.robustness.journal.BatchJournal`.
+
+    Resumed batches return these for questions a previous run already
+    completed: the stored JSON record *is* the result (``to_dict``
+    returns it unchanged, which is what makes a resumed ``--json``
+    document identical to an uninterrupted run's), and no report object
+    is reconstructed -- the question was not re-executed.
+    """
+
+    replayed = True
+    #: live objects a replay cannot reconstruct
+    report = None
+    failure = None
+    error = None
+    baseline = None
+
+    question: Any
+    #: the ``QuestionOutcome.to_dict()`` payload stored in the journal
+    record: dict
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.record.get("ok", False))
+
+    @property
+    def partial(self) -> bool:
+        return self.degradation_level == "partial"
+
+    @property
+    def attempts(self) -> int:
+        return int(self.record.get("attempts", 1))
+
+    @property
+    def degradation_level(self) -> str:
+        return str(self.record.get("degradation_level", "full"))
+
+    def to_dict(self) -> dict:
+        return dict(self.record)
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else "failed"
+        return f"ReplayedOutcome({status}, {self.question!r})"

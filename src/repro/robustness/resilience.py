@@ -1,0 +1,188 @@
+"""Retries with deterministic backoff and the degradation ladder.
+
+PR 2 made failures *contained* (a bad question never takes a batch
+down) and PR 3 made them *observable*; this module makes them
+*recoverable*.  Two pieces:
+
+* :class:`RetryPolicy` -- per-question retry with exponential backoff
+  and deterministic jitter.  All waiting goes through the injectable
+  clock of :mod:`repro.obs.clock`, so tests drive backoff with a
+  :class:`~repro.obs.clock.ManualClock` and never sleep for real, and
+  the jitter is seeded (same seed + question + attempt = same delay)
+  so chaos runs reproduce exactly.
+* :class:`DegradationLadder` -- when retries are exhausted (or were
+  never applicable), prefer a cheaper answer over none, in the spirit
+  of PUG's middleware engineering and the approximate summaries of
+  Lee et al. 2020: full report -> partial (budget-cut) report ->
+  Why-Not baseline answer -> structured failure.  The rung that
+  resolved a question is recorded on its
+  :class:`~repro.robustness.outcomes.QuestionOutcome` as
+  ``degradation_level``.
+
+Only *transient* errors are worth retrying: an
+:class:`~repro.errors.InjectedFaultError` (the chaos suite's stand-in
+for flaky I/O at the ``csv.row`` / ``cache.*`` / ``operator.apply``
+sites) or any error carrying a truthy ``retryable`` attribute.
+Deterministic failures -- malformed questions, unsupported queries,
+budget exhaustion (which already degrades to a partial report) -- are
+not retried: re-running them can only burn the same work again.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..errors import ConfigurationError, InjectedFaultError, ReproError
+from ..obs.clock import current_clock
+from ..obs.trace import current_tracer
+from .outcomes import DEGRADATION_LEVELS
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.baseline
+    from ..baseline.whynot import WhyNotBaselineReport
+    from ..core.canonical import CanonicalQuery
+    from ..relational.instance import DatabaseInstance
+
+__all__ = [
+    "DEGRADATION_LEVELS",
+    "DegradationLadder",
+    "RetryPolicy",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, and how patiently, a failed question is re-attempted.
+
+    ``max_attempts`` counts *total* attempts (1 = no retry).  The delay
+    before retry *k* (0-based) is::
+
+        min(backoff_ms * multiplier**k, max_backoff_ms) * jitter_factor
+
+    where ``jitter_factor`` is drawn deterministically from
+    ``(seed, question key, k)`` in ``[1 - jitter, 1 + jitter]`` --
+    spreading a thundering herd without sacrificing reproducibility.
+    Waiting happens on the ambient clock
+    (:func:`repro.obs.clock.current_clock`), so a
+    :class:`~repro.obs.clock.ManualClock` makes backoff instantaneous
+    in tests.
+    """
+
+    max_attempts: int = 3
+    #: base delay before the first retry, in milliseconds
+    backoff_ms: float = 100.0
+    multiplier: float = 2.0
+    max_backoff_ms: float = 30_000.0
+    #: +- fraction of deterministic jitter applied to each delay
+    jitter: float = 0.1
+    seed: int = 0
+    #: error types considered transient (``error.retryable`` is always
+    #: honoured in addition)
+    retryable: tuple = (InjectedFaultError,)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_ms < 0 or self.max_backoff_ms < 0:
+            raise ConfigurationError(
+                "backoff_ms and max_backoff_ms must be >= 0, got "
+                f"{self.backoff_ms!r} / {self.max_backoff_ms!r}"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier!r}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter!r}"
+            )
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """Is *error* transient -- worth burning another attempt on?"""
+        if isinstance(error, self.retryable):
+            return True
+        return bool(getattr(error, "retryable", False))
+
+    def delay_s(self, retry_index: int, key: str = "") -> float:
+        """Seconds to wait before retry *retry_index* (0-based)."""
+        if retry_index < 0:
+            raise ConfigurationError(
+                f"retry_index must be >= 0, got {retry_index}"
+            )
+        delay_ms = min(
+            self.backoff_ms * self.multiplier ** retry_index,
+            self.max_backoff_ms,
+        )
+        if self.jitter and delay_ms > 0:
+            rng = random.Random(f"{self.seed}:{key}:{retry_index}")
+            delay_ms *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay_ms / 1000.0
+
+    def wait(self, retry_index: int, key: str = "") -> float:
+        """Sleep (on the ambient clock) before retry *retry_index*.
+
+        Returns the delay actually waited, in seconds.
+        """
+        delay = self.delay_s(retry_index, key)
+        if delay > 0:
+            current_clock().sleep(delay)
+        return delay
+
+
+class DegradationLadder:
+    """The fallback rungs below a full NedExplain report.
+
+    The first two rungs (full report; partial report on budget
+    exhaustion) are produced by :meth:`NedExplain.explain` itself; the
+    ladder owns the third: when a question's retries are exhausted, run
+    the Why-Not baseline (Chapman & Jagadish) on the same question and
+    return *its* answer instead of nothing.  The baseline run is
+    deliberately **uncached** -- the shared evaluation cache may be the
+    very site that is failing -- and any error it raises (including
+    :class:`~repro.errors.UnsupportedQueryError` for aggregation
+    queries, the paper's "n.a." rows) drops the question to the final
+    ``"failed"`` rung.
+    """
+
+    def __init__(
+        self,
+        canonical: "CanonicalQuery",
+        instance: "DatabaseInstance",
+    ):
+        self.canonical = canonical
+        self.instance = instance
+
+    @classmethod
+    def for_engine(cls, engine: Any) -> "DegradationLadder":
+        """A ladder answering over the same query/instance as *engine*
+        (a :class:`~repro.core.nedexplain.NedExplain`)."""
+        return cls(engine.canonical, engine.instance)
+
+    def baseline_answer(
+        self, predicate: Any
+    ) -> "WhyNotBaselineReport | None":
+        """The baseline rung: a Why-Not answer, or ``None`` if even the
+        baseline cannot resolve the question."""
+        from ..baseline.whynot import WhyNotBaseline
+
+        tracer = current_tracer()
+        try:
+            baseline = WhyNotBaseline(
+                self.canonical, instance=self.instance, use_cache=False
+            )
+            report = baseline.explain(predicate)
+        except ReproError:
+            if tracer is not None:
+                tracer.metrics.counter(
+                    "resilience.fallbacks.failed"
+                ).inc()
+            return None
+        if tracer is not None:
+            tracer.metrics.counter("resilience.fallbacks.baseline").inc()
+        return report
+
+    def __repr__(self) -> str:
+        return f"DegradationLadder(levels={DEGRADATION_LEVELS})"

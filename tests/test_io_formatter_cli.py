@@ -352,3 +352,119 @@ class TestCliObservability:
         assert all(o["ok"] for o in document["outcomes"])
         assert document["batch"]["questions"] == 2
         assert document["batch"]["evaluations"] == 1
+
+
+class TestCliResilience:
+    """--retries / --fallback-baseline / --journal and exit code 4."""
+
+    def _base_args(self, tmp_path):
+        return [
+            "explain",
+            "--data", str(tmp_path / "db"),
+            "--sql",
+            "SELECT A.name FROM A WHERE A.dob > -800",
+            "--json",
+        ]
+
+    def test_outcome_schema_is_stable(
+        self, running_example_db, tmp_path, capsys
+    ):
+        """The journalled/--json outcome document shape is a contract:
+        resume compatibility and downstream consumers both depend on
+        these exact keys staying put."""
+        import json
+
+        save_database(running_example_db, tmp_path / "db")
+        code = main(
+            self._base_args(tmp_path)
+            + [
+                "--why-not", "(A.name: Homer)",
+                "--why-not", "(A.nope: broken)",
+            ]
+        )
+        assert code == 3  # one failed question degrades the batch
+        document = json.loads(capsys.readouterr().out)
+        ok, failed = document["outcomes"]
+        expected_keys = {
+            "question", "ok", "report", "failure",
+            "attempts", "degradation_level", "baseline",
+        }
+        assert set(ok) == expected_keys
+        assert set(failed) == expected_keys
+        assert ok["attempts"] == 1
+        assert ok["degradation_level"] == "full"
+        assert failed["degradation_level"] == "failed"
+        assert set(failed["failure"]) == {
+            "error_class", "message", "phase", "spent", "attempts",
+        }
+        # report keys (the pre-resilience ones must all survive)
+        assert set(ok["report"]) == {
+            "answers", "phase_times_ms", "total_time_ms",
+            "partial", "degraded_reason", "degradation_level",
+        }
+
+    def test_retries_exhausted_without_fallback_exits_4(
+        self, running_example_db, tmp_path, capsys
+    ):
+        import json
+
+        save_database(running_example_db, tmp_path / "db")
+        code = main(
+            self._base_args(tmp_path)
+            + ["--why-not", "(A.nope: broken)", "--retries", "2"]
+        )
+        assert code == 4
+        document = json.loads(capsys.readouterr().out)
+        assert document["exit_code"] == 4
+        assert document["outcomes"][0]["degradation_level"] == "failed"
+
+    def test_single_question_with_retries_uses_batch_path(
+        self, running_example_db, tmp_path, capsys
+    ):
+        import json
+
+        save_database(running_example_db, tmp_path / "db")
+        code = main(
+            self._base_args(tmp_path)
+            + ["--why-not", "(A.name: Homer)", "--retries", "3"]
+        )
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        (outcome,) = document["outcomes"]
+        assert outcome["ok"] and outcome["attempts"] == 1
+
+    def test_journal_round_trip_over_cli(
+        self, running_example_db, tmp_path, capsys
+    ):
+        import json
+
+        save_database(running_example_db, tmp_path / "db")
+        journal = tmp_path / "batch.jsonl"
+        args = self._base_args(tmp_path) + [
+            "--why-not", "(A.name: Homer)",
+            "--journal", str(journal),
+        ]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["journal"] == str(journal)
+        assert len(journal.read_text().splitlines()) == 1
+
+        assert main(args + ["--resume"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["outcomes"] == first["outcomes"]
+
+    def test_resume_requires_journal(
+        self, running_example_db, tmp_path, capsys
+    ):
+        save_database(running_example_db, tmp_path / "db")
+        code = main(
+            [
+                "explain",
+                "--data", str(tmp_path / "db"),
+                "--sql", "SELECT A.name FROM A WHERE A.dob > -800",
+                "--why-not", "(A.name: Homer)",
+                "--resume",
+            ]
+        )
+        assert code == 2
+        assert "--resume requires --journal" in capsys.readouterr().err
