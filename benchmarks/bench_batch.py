@@ -51,6 +51,17 @@ def run_batched(database, canonical, predicates):
     return reports, cache, elapsed
 
 
+def run_parallel(database, canonical, predicates, workers: int):
+    """The same batch through the supervised parallel executor."""
+    cache = EvaluationCache()
+    engine = NedExplain(canonical, database=database, cache=cache)
+    started = time.perf_counter()
+    outcomes = engine.explain_each(predicates, workers=workers)
+    elapsed = time.perf_counter() - started
+    reports = [outcome.unwrap() for outcome in outcomes]
+    return reports, cache, elapsed
+
+
 def run_independent(database, canonical, predicates):
     config = NedExplainConfig(use_shared_evaluation=False)
     started = time.perf_counter()
@@ -64,7 +75,9 @@ def run_independent(database, canonical, predicates):
     return reports, elapsed
 
 
-def run_comparison(relations: int, rows: int, verbose: bool = True):
+def run_comparison(
+    relations: int, rows: int, verbose: bool = True, workers: int = 1
+):
     database, canonical, predicates = build_workload(relations, rows)
 
     # warm-up so neither side pays first-touch costs (lazy indexes)
@@ -93,6 +106,21 @@ def run_comparison(relations: int, rows: int, verbose: bool = True):
         f"({solo_time * 1000:.1f} ms)"
     )
 
+    parallel_time = None
+    if workers > 1:
+        # parallel sanity: same answers, still one shared evaluation
+        parallel, pcache, parallel_time = run_parallel(
+            database, canonical, predicates, workers
+        )
+        assert pcache.stats.evaluations == 1, (
+            f"parallel batch performed {pcache.stats.evaluations} "
+            "full evaluations, expected 1 (single-flight cache)"
+        )
+        for got, expected in zip(parallel, batched):
+            assert got.summary() == expected.summary(), (
+                "parallel and sequential batches disagree"
+            )
+
     if verbose:
         speedup = solo_time / batch_time
         print(
@@ -106,6 +134,11 @@ def run_comparison(relations: int, rows: int, verbose: bool = True):
         )
         print(f"  independent : {solo_time * 1000:8.1f} ms")
         print(f"  speedup     : {speedup:8.2f}x")
+        if parallel_time is not None:
+            print(
+                f"  parallel    : {parallel_time * 1000:8.1f} ms   "
+                f"({workers} workers, answers identical)"
+            )
     return batch_time, solo_time
 
 
@@ -120,6 +153,10 @@ def test_batch_smoke():
     run_comparison(relations=2, rows=30, verbose=False)
 
 
+def test_batch_parallel_matches_sequential():
+    run_comparison(relations=2, rows=30, verbose=False, workers=4)
+
+
 # ---------------------------------------------------------------------------
 # standalone entry point
 # ---------------------------------------------------------------------------
@@ -132,13 +169,20 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--relations", type=int, default=4)
     parser.add_argument("--rows", type=int, default=150)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="also run the batch through the parallel executor and "
+        "assert it matches the sequential answers",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
         relations, rows = 3, 40
     else:
         relations, rows = args.relations, args.rows
-    run_comparison(relations, rows, verbose=True)
+    run_comparison(relations, rows, verbose=True, workers=args.workers)
     print("ok: 1 full evaluation, batched beat independent runs")
     return 0
 

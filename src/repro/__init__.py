@@ -70,12 +70,14 @@ from .obs import (
 from .robustness import (
     BatchJournal,
     Budget,
+    CancellationToken,
     CircuitBreaker,
     CircuitBreakerBoard,
     DegradationLadder,
     ExecutionContext,
     FailureInfo,
     FaultPlan,
+    ParallelExecutor,
     QuestionOutcome,
     ReplayedOutcome,
     RetryPolicy,
@@ -156,6 +158,11 @@ def explain_outcomes(
     retry: RetryPolicy | None = None,
     fallback_baseline: bool = False,
     journal: BatchJournal | None = None,
+    workers: int = 1,
+    queue_size: int | None = None,
+    shed_after: int | None = None,
+    batch_deadline_s: float | None = None,
+    cancel: CancellationToken | None = None,
 ):
     """Fault-isolating variant of :func:`explain_batch`.
 
@@ -163,7 +170,9 @@ def explain_outcomes(
     question -- a report, or a structured failure (error class, phase,
     budget spent) when that question failed.  Never raises for a
     per-question failure.  The resilience knobs (*retry*,
-    *fallback_baseline*, *journal*) are forwarded to
+    *fallback_baseline*, *journal*) and the parallel-executor knobs
+    (*workers*, *queue_size*, *shed_after*, *batch_deadline_s*,
+    *cancel*) are forwarded to
     :meth:`~repro.core.nedexplain.NedExplain.explain_each`.
     """
     canonical = sql_to_canonical(sql, database.schema)
@@ -176,6 +185,11 @@ def explain_outcomes(
         retry=retry,
         fallback_baseline=fallback_baseline,
         journal=journal,
+        workers=workers,
+        queue_size=queue_size,
+        shed_after=shed_after,
+        batch_deadline_s=batch_deadline_s,
+        cancel=cancel,
     )
 
 
@@ -188,6 +202,7 @@ __all__ = [
     "Budget",
     "BudgetExceededError",
     "CacheStats",
+    "CancellationToken",
     "CanonicalQuery",
     "CircuitBreaker",
     "CircuitBreakerBoard",
@@ -206,6 +221,7 @@ __all__ = [
     "NedExplain",
     "NedExplainConfig",
     "NedExplainReport",
+    "ParallelExecutor",
     "Predicate",
     "QuestionOutcome",
     "Renaming",

@@ -63,6 +63,7 @@ def run_use_case(
     config: NedExplainConfig | None = None,
     budget: Budget | None = None,
     retry: RetryPolicy | None = None,
+    workers: int = 1,
 ) -> UseCaseResult:
     """Run one named use case with both algorithms.
 
@@ -73,13 +74,19 @@ def run_use_case(
     policy, the NedExplain run goes through the resilient
     :meth:`~repro.core.nedexplain.NedExplain.explain_each` path --
     transient faults (e.g. an injected chaos plan during a soak sweep)
-    are retried instead of aborting the benchmark.
+    are retried instead of aborting the benchmark.  With *workers* > 1
+    the same path runs under the supervised parallel executor, which
+    sweeps use to sanity-check that parallel answers match sequential
+    ones.
     """
     use_case, database, canonical = use_case_setup(name, scale)
     ned_engine = NedExplain(canonical, database=database, config=config)
-    if retry is not None:
+    if retry is not None or workers > 1:
         (outcome,) = ned_engine.explain_each(
-            [use_case.predicate], budget=budget, retry=retry
+            [use_case.predicate],
+            budget=budget,
+            retry=retry,
+            workers=workers,
         )
         if outcome.report is None:
             assert outcome.error is not None

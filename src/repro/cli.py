@@ -42,7 +42,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import signal
 import sys
+import threading
 from typing import Any, Sequence, TextIO
 
 from .baseline import WhyNotBaseline
@@ -61,18 +63,30 @@ from .obs import (
 from .relational.csv_io import load_database
 from .relational.evaluator import evaluate_query
 from .relational.sql import sql_to_canonical
-from .robustness import BatchJournal, Budget, RetryPolicy
+from .robustness import (
+    BatchJournal,
+    Budget,
+    CancellationToken,
+    RetryPolicy,
+)
 
 #: exit codes (the full table lives in docs/robustness.md):
 #: 0 = success; 2 = fatal error; 3 = the run completed but degraded --
 #: a batch with per-question failures, a budget-limited partial report,
-#: or a question answered by the baseline fallback; 4 = resilience was
-#: requested (--retries / --fallback-baseline) and at least one
-#: question still produced no answer at any ladder rung
+#: a question answered by the baseline fallback, or questions cancelled
+#: by an expired --batch-deadline; 4 = resilience was requested
+#: (--retries / --fallback-baseline) and at least one question still
+#: produced no answer at any ladder rung; 5 = a drain signal
+#: (SIGINT/SIGTERM) was received -- in-flight questions finished and
+#: were journaled, not-yet-started ones were cancelled; 6 = the
+#: --shed-after quota refused at least one question.  Precedence when
+#: several apply: 5 > 6 > 4 > 3.
 EXIT_OK = 0
 EXIT_ERROR = 2
 EXIT_DEGRADED = 3
 EXIT_NO_FALLBACK = 4
+EXIT_DRAINED = 5
+EXIT_SHED = 6
 
 #: Environment hook: run the whole CLI on a ManualClock, so every
 #: reported duration is deterministically 0.0 -- the kill/resume
@@ -270,6 +284,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay completed questions from --journal and compute "
         "only the remainder",
     )
+    parallel = explain.add_argument_group("parallel execution")
+    parallel.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker threads for the batch (default: 1, inline "
+        "sequential); results are always in submission order",
+    )
+    parallel.add_argument(
+        "--queue-size",
+        dest="queue_size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound on the submission queue (default: 2*workers); "
+        "submission blocks -- backpressure -- when it is full",
+    )
+    parallel.add_argument(
+        "--shed-after",
+        dest="shed_after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admit at most N questions; the rest are shed as "
+        "explicit 'shed' outcomes (exit code 6), never dropped",
+    )
+    parallel.add_argument(
+        "--batch-deadline",
+        dest="batch_deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline for the whole batch; on expiry "
+        "in-flight questions finish, the rest are cancelled",
+    )
     _add_common_options(explain)
 
     demo = commands.add_parser(
@@ -409,6 +459,9 @@ def _run_explain(args, writer: OutputWriter) -> int:
         or args.retries is not None
         or args.fallback_baseline
         or args.journal
+        or args.workers > 1
+        or args.shed_after is not None
+        or args.batch_deadline is not None
     ):
         # every resilience feature runs through the outcome-producing
         # batch path, even for a single question
@@ -458,7 +511,9 @@ def _run_explain_batch(
     exit code is 3 (not 0) when any question failed or was degraded,
     and 4 when resilience was requested (--retries /
     --fallback-baseline) but a question still got no answer at any
-    degradation rung.
+    degradation rung.  Parallel batches add two more: 5 when a
+    SIGINT/SIGTERM triggered a graceful drain, 6 when the --shed-after
+    quota refused at least one question (precedence 5 > 6 > 4 > 3).
     """
     from .relational import EvaluationCache
 
@@ -475,6 +530,28 @@ def _run_explain_batch(
 
     cache = EvaluationCache()
     engine = NedExplain(canonical, database=database, cache=cache)
+
+    # Graceful drain: the first SIGINT/SIGTERM cancels the batch's
+    # admission (in-flight questions finish and are journaled); a
+    # second signal restores the default disposition and re-raises
+    # itself, so a stuck batch can still be killed the usual way.
+    cancel = CancellationToken()
+    drain_signal: list[str] = []
+
+    def _drain_handler(signum, frame) -> None:
+        name = signal.Signals(signum).name
+        if cancel.cancel(f"drain requested by {name}"):
+            drain_signal.append(name)
+        else:
+            signal.signal(signum, signal.SIG_DFL)
+            os.kill(os.getpid(), signum)
+
+    previous_handlers: dict[int, Any] = {}
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(
+                signum, _drain_handler
+            )
     try:
         outcomes = engine.explain_each(
             questions,
@@ -482,12 +559,20 @@ def _run_explain_batch(
             retry=retry,
             fallback_baseline=args.fallback_baseline,
             journal=journal,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            shed_after=args.shed_after,
+            batch_deadline_s=args.batch_deadline,
+            cancel=cancel,
         )
     finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
         if journal is not None:
             journal.close()
     degraded = False
     unanswered = False
+    shed = False
     for question, outcome in zip(questions, outcomes):
         writer.append("outcomes", outcome.to_dict())
         writer.line(f"why-not {question}")
@@ -510,6 +595,15 @@ def _run_explain_batch(
             )
             writer.block(outcome.baseline.summary())
             degraded = True
+        elif outcome.degradation_level in ("shed", "cancelled"):
+            # admission-side outcomes: the question never ran, and
+            # that is reported explicitly, never silently dropped
+            writer.line(
+                f"  {outcome.degradation_level.upper()}: "
+                f"{outcome.failure.describe()}"
+            )
+            degraded = True
+            shed = shed or outcome.degradation_level == "shed"
         else:
             writer.line(f"  FAILED: {outcome.failure.describe()}")
             degraded = True
@@ -562,6 +656,15 @@ def _run_explain_batch(
                     writer.line(f"  FAILED: {message}")
                     degraded = True
     resilient = args.retries is not None or args.fallback_baseline
+    if drain_signal:
+        writer.set("drained_by", drain_signal[0])
+        writer.line(
+            f"drained: {drain_signal[0]} received; in-flight "
+            "questions finished, the rest were cancelled"
+        )
+        return EXIT_DRAINED
+    if shed:
+        return EXIT_SHED
     if resilient and unanswered:
         return EXIT_NO_FALLBACK
     return EXIT_DEGRADED if degraded else EXIT_OK

@@ -28,13 +28,16 @@ agree by construction.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from ..errors import (
     BatchError,
     BudgetExceededError,
+    CancelledError,
     EvaluationError,
+    LoadShedError,
     ReproError,
     WhyNotQuestionError,
 )
@@ -53,6 +56,8 @@ from ..robustness.budget import (
     current_context,
     execution_context,
 )
+from ..robustness.executor import CancellationToken, ParallelExecutor
+from ..robustness.faults import fault_scope
 from ..robustness.journal import BatchJournal
 from ..robustness.outcomes import (
     FailureInfo,
@@ -186,11 +191,51 @@ class NedExplain:
             self.instance, database, canonical.aliases
         )
         self.cache = cache if cache is not None else get_default_cache()
-        #: the shared evaluation the current explain() call reads from
-        self._shared: EvaluationResult | None = None
-        self._phases: dict[str, float] = {}
-        #: TabQ of each processed c-tuple from the last explain() call
-        self.last_tabqs: list[TabQ] = []
+        # Per-explain mutable state lives in a threading.local: a
+        # parallel batch runs explain() concurrently on one engine, and
+        # each worker thread must see only its own question's shared
+        # evaluation, phase accumulators, and TabQs.
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Per-thread explain state
+    # ------------------------------------------------------------------
+    @property
+    def _shared(self) -> EvaluationResult | None:
+        """The shared evaluation the current explain() call reads from
+        (thread-local: one per concurrently explaining thread)."""
+        return getattr(self._local, "shared", None)
+
+    @_shared.setter
+    def _shared(self, value: EvaluationResult | None) -> None:
+        self._local.shared = value
+
+    @property
+    def _phases(self) -> dict[str, float]:
+        phases = getattr(self._local, "phases", None)
+        if phases is None:
+            phases = {}
+            self._local.phases = phases
+        return phases
+
+    @_phases.setter
+    def _phases(self, value: dict[str, float]) -> None:
+        self._local.phases = value
+
+    @property
+    def last_tabqs(self) -> list[TabQ]:
+        """TabQ of each processed c-tuple from the last explain() call
+        *on this thread* (a parallel batch's workers each keep their
+        own; the submitting thread's list is untouched by them)."""
+        tabqs = getattr(self._local, "last_tabqs", None)
+        if tabqs is None:
+            tabqs = []
+            self._local.last_tabqs = tabqs
+        return tabqs
+
+    @last_tabqs.setter
+    def last_tabqs(self, value: list[TabQ]) -> None:
+        self._local.last_tabqs = value
 
     # ------------------------------------------------------------------
     # Public API
@@ -335,6 +380,11 @@ class NedExplain:
         fallback_baseline: bool = False,
         ladder: DegradationLadder | None = None,
         journal: BatchJournal | None = None,
+        workers: int = 1,
+        queue_size: int | None = None,
+        shed_after: int | None = None,
+        batch_deadline_s: float | None = None,
+        cancel: CancellationToken | None = None,
     ) -> tuple[QuestionOutcome | ReplayedOutcome, ...]:
         """Fault-isolating, resilient batch: one outcome per question.
 
@@ -371,10 +421,42 @@ class NedExplain:
             the answer in ``outcome.baseline``).
         *journal*
             a :class:`~repro.robustness.journal.BatchJournal`: every
-            resolved outcome is durably appended before the next
-            question starts, and questions a previous (killed) run
-            already completed are replayed verbatim as
+            resolved outcome is durably appended as soon as it
+            completes, and questions a previous (killed) run already
+            completed are replayed verbatim as
             :class:`~repro.robustness.outcomes.ReplayedOutcome`\\ s.
+            A parallel batch appends in completion order; resume is by
+            question identity (index + digest), so the merged result
+            is still identical to an uninterrupted run.
+
+        Concurrency knobs (all optional; ``workers=1`` runs the same
+        admission policy inline and is byte-identical to the historical
+        sequential loop):
+
+        *workers* / *queue_size*
+            size of the supervised worker pool and of its bounded
+            submission queue (see
+            :class:`~repro.robustness.executor.ParallelExecutor`).
+            Ambient context (clock, tracer, budget context, fault
+            scope) propagates to every worker; per-worker tracers and
+            metrics are merged back into the caller's.  Outcomes are
+            returned in submission order, and under a
+            :class:`~repro.obs.clock.ManualClock` a ``workers=N`` run
+            is byte-identical to the sequential one.
+        *shed_after*
+            admission quota: questions beyond the first *shed_after*
+            non-replayed ones resolve to explicit ``"shed"`` outcomes
+            without doing any work (never silently dropped).
+        *batch_deadline_s*
+            whole-batch deadline on the ambient clock; per-question
+            budgets are capped to the remaining batch time, and
+            questions that have not started when it expires resolve to
+            explicit ``"cancelled"`` outcomes.
+        *cancel*
+            a :class:`~repro.robustness.executor.CancellationToken`
+            (e.g. set from a SIGINT/SIGTERM handler): setting it drains
+            the batch gracefully -- in-flight questions finish and are
+            journalled, unstarted ones become ``"cancelled"`` outcomes.
         """
         effective = budget if budget is not None else self.config.budget
         if retry is None:
@@ -383,22 +465,92 @@ class NedExplain:
             breakers = CircuitBreakerBoard()
         if ladder is None and fallback_baseline:
             ladder = DegradationLadder.for_engine(self)
-        outcomes: list[QuestionOutcome | ReplayedOutcome] = []
-        for index, predicate in enumerate(predicates):
-            if journal is not None:
-                replay = journal.completed(index, str(predicate))
-                if replay is not None:
-                    outcomes.append(
-                        ReplayedOutcome(question=predicate, record=replay)
-                    )
-                    continue
-            outcome = self._resolve_outcome(
-                predicate, effective, retry, breakers, ladder
+        executor = ParallelExecutor(
+            workers=workers,
+            queue_size=queue_size,
+            shed_after=shed_after,
+            batch_deadline_s=batch_deadline_s,
+            cancel=cancel,
+        )
+
+        def _replay(index, predicate):
+            if journal is None:
+                return None
+            record = journal.completed(index, str(predicate))
+            if record is None:
+                return None
+            return ReplayedOutcome(question=predicate, record=record)
+
+        def _resolve(index, predicate):
+            question_budget = self._capped_budget(
+                effective, executor.remaining_s()
             )
+            return self._resolve_outcome(
+                predicate, question_budget, retry, breakers, ladder
+            )
+
+        def _record(index, predicate, outcome):
             if journal is not None:
                 journal.record(index, str(predicate), outcome.to_dict())
-            outcomes.append(outcome)
-        return tuple(outcomes)
+
+        def _on_shed(index, predicate):
+            error = LoadShedError(
+                f"question shed by admission quota "
+                f"(shed_after={shed_after})",
+                index=index,
+            )
+            return QuestionOutcome(
+                question=predicate,
+                failure=FailureInfo.from_error(error, attempts=0),
+                error=error,
+                attempts=0,
+                degradation_level="shed",
+            )
+
+        def _on_cancelled(index, predicate, reason):
+            error = CancelledError(
+                f"question cancelled before start: {reason}",
+                reason=reason,
+            )
+            return QuestionOutcome(
+                question=predicate,
+                failure=FailureInfo.from_error(error, attempts=0),
+                error=error,
+                attempts=0,
+                degradation_level="cancelled",
+            )
+
+        return tuple(
+            executor.run(
+                predicates,
+                _resolve,
+                replay=_replay,
+                record=_record,
+                on_shed=_on_shed,
+                on_cancelled=_on_cancelled,
+            )
+        )
+
+    @staticmethod
+    def _capped_budget(
+        base: Budget | None, remaining_s: float | None
+    ) -> Budget | None:
+        """Cap a per-question budget to the remaining batch deadline."""
+        if remaining_s is None:
+            return base
+        # Budget requires a positive deadline; the executor cancels
+        # unstarted questions once the deadline passes, so a question
+        # caught in the tiny gap just gets an immediately-exhausted one.
+        remaining_s = max(remaining_s, 1e-9)
+        if base is None:
+            return Budget(deadline_s=remaining_s)
+        if base.deadline_s is not None and base.deadline_s <= remaining_s:
+            return base
+        return Budget(
+            deadline_s=remaining_s,
+            max_rows=base.max_rows,
+            max_comparisons=base.max_comparisons,
+        )
 
     def _resolve_outcome(
         self,
@@ -410,9 +562,28 @@ class NedExplain:
     ) -> QuestionOutcome:
         """One question, driven to an outcome through the resilience
         machinery: attempt -> retry (backoff, breaker-gated) ->
-        degradation ladder -> structured failure."""
-        max_attempts = retry.max_attempts if retry is not None else 1
+        degradation ladder -> structured failure.
+
+        The whole resolution (all attempts) runs under a
+        :func:`~repro.robustness.faults.fault_scope` keyed by the
+        question, so question-scoped fault plans fire identically
+        whether the batch is sequential or parallel."""
         question_key = str(predicate)
+        with fault_scope(question_key):
+            return self._resolve_scoped(
+                predicate, budget, retry, breakers, ladder, question_key
+            )
+
+    def _resolve_scoped(
+        self,
+        predicate: Predicate | CTuple | str,
+        budget: Budget | None,
+        retry: RetryPolicy | None,
+        breakers: CircuitBreakerBoard | None,
+        ladder: DegradationLadder | None,
+        question_key: str,
+    ) -> QuestionOutcome:
+        max_attempts = retry.max_attempts if retry is not None else 1
         attempts = 0
         failed_site: str | None = None
         last_error: ReproError | None = None

@@ -142,6 +142,38 @@ class InjectedFaultError(ReproError):
         self.call_index = call_index
 
 
+class LoadShedError(ReproError):
+    """A question was refused admission by the load-shedding policy.
+
+    Raised (as the structured ``error`` of a shed
+    :class:`~repro.robustness.outcomes.QuestionOutcome`, never as an
+    escaping exception) when a batch runs with ``shed_after=N`` and the
+    question arrived after the admission quota was spent.  A shed
+    question did no work at all -- re-submitting it without the quota
+    produces the normal answer.
+    """
+
+    def __init__(self, message: str, index: int | None = None):
+        super().__init__(message)
+        self.index = index
+
+
+class CancelledError(ReproError):
+    """A question was cancelled before it started.
+
+    Attached to the explicit ``cancelled`` outcomes a draining batch
+    produces for its not-yet-started questions -- after a SIGINT/SIGTERM
+    drain request or once the batch deadline passed.  In-flight
+    questions are never interrupted (cancellation is cooperative); a
+    cancelled question simply never ran and can be recomputed by a
+    resumed batch.
+    """
+
+    def __init__(self, message: str, reason: str | None = None):
+        super().__init__(message)
+        self.reason = reason
+
+
 class JournalError(ReproError):
     """A batch journal cannot be trusted for the requested resume.
 

@@ -22,6 +22,7 @@ per measured section, nothing more.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -89,6 +90,7 @@ class ManualClock(Clock):
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
+        self._lock = threading.Lock()
 
     def advance(self, seconds: float) -> float:
         """Move the clock forward; returns the new reading."""
@@ -96,8 +98,9 @@ class ManualClock(Clock):
             raise ConfigurationError(
                 f"cannot advance a clock by {seconds!r} seconds"
             )
-        self._now += seconds
-        return self._now
+        with self._lock:
+            self._now += seconds
+            return self._now
 
     def monotonic(self) -> float:
         return self._now
@@ -109,6 +112,21 @@ class ManualClock(Clock):
         """Sleeping on a manual clock just advances it -- instantly."""
         if seconds > 0:
             self.advance(seconds)
+
+    def fork(self) -> "ManualClock":
+        """A new manual clock starting at this clock's current reading.
+
+        Parallel batches give each question a private fork: virtual
+        time becomes *per question*, so one question's retry backoff
+        (which "sleeps" by advancing its clock) can never inflate a
+        phase measured concurrently by another question.  All engine
+        time consumers read differences, never absolute readings, so a
+        fork is behaviourally indistinguishable from the parent as long
+        as only its own question advances it -- which is exactly what
+        makes a ``workers=N`` manual-clock run byte-identical to the
+        sequential one.
+        """
+        return ManualClock(self.monotonic())
 
     def __repr__(self) -> str:
         return f"ManualClock(now={self._now:.6f})"

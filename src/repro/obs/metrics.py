@@ -25,6 +25,7 @@ counts retry attempts consumed; ``resilience.fallbacks.baseline`` /
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Mapping, Sequence
 
@@ -38,20 +39,25 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count.
 
-    __slots__ = ("name", "value")
+    ``inc`` is atomic under an internal lock (a bare ``+=`` is a
+    read-modify-write that loses updates across threads)."""
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
         if n < 0:
             raise ConfigurationError(
                 f"counter {self.name!r} cannot decrease (inc by {n})"
             )
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, {self.value})"
@@ -67,6 +73,7 @@ class Gauge:
         self.value: float = 0.0
 
     def set(self, value: float) -> None:
+        # a single attribute store: already atomic, no lock needed
         self.value = value
 
     def __repr__(self) -> str:
@@ -82,7 +89,9 @@ class Histogram:
     alongside ``count`` and ``sum`` so consumers can derive either view.
     """
 
-    __slots__ = ("name", "buckets", "bucket_counts", "count", "sum")
+    __slots__ = (
+        "name", "buckets", "bucket_counts", "count", "sum", "_lock",
+    )
 
     def __init__(
         self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
@@ -100,11 +109,13 @@ class Histogram:
         self.bucket_counts = [0] * (len(bounds) + 1)  # + overflow
         self.count = 0
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.sum += value
+        with self._lock:
+            self.bucket_counts[bisect_left(self.buckets, value)] += 1
+            self.count += 1
+            self.sum += value
 
     @property
     def mean(self) -> float:
@@ -128,18 +139,20 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, kind: type, factory):
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = factory()
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, kind):
-            raise ConfigurationError(
-                f"metric {name!r} already registered as "
-                f"{type(instrument).__name__}, not {kind.__name__}"
-            )
-        return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, kind):
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter, lambda: Counter(name))
@@ -157,8 +170,10 @@ class MetricsRegistry:
     def snapshot(self) -> dict[str, dict]:
         """Flat, JSON-ready view of every instrument, sorted by name."""
         out: dict[str, dict] = {}
-        for name in sorted(self._instruments):
-            instrument = self._instruments[name]
+        with self._lock:
+            instruments = dict(self._instruments)
+        for name in sorted(instruments):
+            instrument = instruments[name]
             if isinstance(instrument, Counter):
                 out[name] = {"type": "counter", "value": instrument.value}
             elif isinstance(instrument, Gauge):
@@ -174,9 +189,45 @@ class MetricsRegistry:
                 }
         return out
 
+    def absorb(self, snapshot: Mapping[str, Mapping]) -> None:
+        """Fold one :meth:`snapshot` into this registry's instruments.
+
+        Counters and histograms add; gauges take the snapshot's value
+        (last write wins, matching :func:`merge_snapshots`).  The
+        parallel executor uses this to merge each worker's private
+        registry back into the batch caller's tracer, so a traced
+        ``workers=N`` run reports the same totals one thread would.
+        """
+        for name, data in snapshot.items():
+            kind = data["type"]
+            if kind == "counter":
+                self.counter(name).inc(int(data["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(data["value"])
+            else:
+                histogram = self.histogram(
+                    name, buckets=tuple(data["buckets"])
+                )
+                if list(histogram.buckets) != list(data["buckets"]):
+                    raise ConfigurationError(
+                        f"cannot absorb histogram {name!r}: bucket "
+                        "layout mismatch"
+                    )
+                with histogram._lock:
+                    histogram.count += data["count"]
+                    histogram.sum += data["sum"]
+                    histogram.bucket_counts = [
+                        a + b
+                        for a, b in zip(
+                            histogram.bucket_counts,
+                            data["bucket_counts"],
+                        )
+                    ]
+
     def reset(self) -> None:
         """Drop every instrument (names become free again)."""
-        self._instruments.clear()
+        with self._lock:
+            self._instruments.clear()
 
     def __len__(self) -> int:
         return len(self._instruments)

@@ -101,10 +101,13 @@ class Tracer:
     """Collects the spans and metrics of one traced run.
 
     Not thread-safe (the engine is single-threaded per question, like
-    :class:`~repro.robustness.budget.ExecutionContext`).  Spans nest
-    through an explicit stack: :meth:`start_span` parents the new span
-    under the innermost open one.  Finished spans are kept in
-    *completion* order; exporters sort by start time.
+    :class:`~repro.robustness.budget.ExecutionContext`): a tracer's
+    span stack models *one* thread of execution.  Parallel batches
+    therefore give every worker its own private tracer and fold the
+    results back with :meth:`absorb` -- never share one tracer across
+    threads.  Spans nest through an explicit stack: :meth:`start_span`
+    parents the new span under the innermost open one.  Finished spans
+    are kept in *completion* order; exporters sort by start time.
     """
 
     def __init__(
@@ -166,6 +169,33 @@ class Tracer:
             yield opened
         finally:
             self.end_span(opened)
+
+    # ------------------------------------------------------------------
+    # Merging (parallel batches)
+    # ------------------------------------------------------------------
+    def absorb(self, other: "Tracer") -> None:
+        """Fold a finished worker tracer into this one.
+
+        The worker's spans are appended with their ids shifted past
+        this tracer's id space (parent/child links preserved), and its
+        metrics registry is merged through
+        :meth:`~repro.obs.metrics.MetricsRegistry.absorb`.  Call this
+        from the coordinating thread after the worker has finished --
+        absorbing a tracer with open spans is a configuration error.
+        """
+        if other._stack:
+            raise ConfigurationError(
+                f"cannot absorb a tracer with {len(other._stack)} "
+                "open span(s)"
+            )
+        offset = self._next_id
+        for span in other.spans:
+            span.span_id += offset
+            if span.parent_id is not None:
+                span.parent_id += offset
+            self.spans.append(span)
+        self._next_id = offset + other._next_id
+        self.metrics.absorb(other.metrics.snapshot())
 
     # ------------------------------------------------------------------
     # Views

@@ -25,10 +25,20 @@ over the *same* instance.  This module provides the shared substrate:
 
 Cached results are shared -- callers must treat them as immutable and
 copy tuple lists before modifying them (TabQ does).
+
+The cache is **thread-safe with single-flight misses**: one reentrant
+lock guards lookups, LRU mutation, the stats counters, and the miss
+evaluation itself, so N worker threads asking for the same key perform
+exactly one evaluation (the others block briefly and then hit) and the
+hit/miss/store/eviction counters stay exact under any interleaving.
+In the repo's locking order (see docs/robustness.md) the cache lock is
+the outermost engine lock: code holding it may take the fault-plan and
+metrics locks, never the reverse.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -88,6 +98,9 @@ class EvaluationCache:
         if self.maxsize < 1:
             raise ConfigurationError("cache maxsize must be at least 1")
         self._entries: OrderedDict[tuple, EvaluationResult] = OrderedDict()
+        # Reentrant: a miss evaluation can re-enter get_or_evaluate
+        # (nested subquery evaluation through the same cache).
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Keys
@@ -123,43 +136,53 @@ class EvaluationCache:
         stay consistent -- an aborted miss is a miss without an
         evaluation, and a fault at the store site drops the entry but
         keeps the evaluation count honest.
+
+        Misses are **single-flight**: the cache lock is held across the
+        evaluation, so concurrent requests for one key produce exactly
+        one evaluation -- the first thread in misses and stores, the
+        rest hit the stored entry.  (Requests for *different* keys do
+        serialize behind a long evaluation; per-question why-not work
+        dominates evaluation time in a batch, so the trade keeps the
+        "N questions, 1 evaluation" claim exact instead of racy.)
         """
-        fault_point("cache.lookup")
-        tracer = current_tracer()
-        key = self.key_for(root, instance, aliases)
-        cached = self._entries.get(key)
-        if cached is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            if tracer is not None:
-                tracer.metrics.counter("cache.hits").inc()
-            if cached.root is root:
-                return cached
-            return cached.rebind(root)
-        self.stats.misses += 1
-        if tracer is None:
-            result = evaluate(root, instance)
-        else:
-            tracer.metrics.counter("cache.misses").inc()
-            with tracer.span(
-                "evaluate", category="cache", fingerprint=key[0][:12]
-            ):
+        with self._lock:
+            fault_point("cache.lookup")
+            tracer = current_tracer()
+            key = self.key_for(root, instance, aliases)
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                if tracer is not None:
+                    tracer.metrics.counter("cache.hits").inc()
+                if cached.root is root:
+                    return cached
+                return cached.rebind(root)
+            self.stats.misses += 1
+            if tracer is None:
                 result = evaluate(root, instance)
-        self.stats.evaluations += 1
-        fault_point("cache.store")
-        self._entries[key] = result
-        if tracer is not None:
-            tracer.metrics.counter("cache.stores").inc()
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            else:
+                tracer.metrics.counter("cache.misses").inc()
+                with tracer.span(
+                    "evaluate", category="cache", fingerprint=key[0][:12]
+                ):
+                    result = evaluate(root, instance)
+            self.stats.evaluations += 1
+            fault_point("cache.store")
+            self._entries[key] = result
             if tracer is not None:
-                tracer.metrics.counter("cache.evictions").inc()
-        return result
+                tracer.metrics.counter("cache.stores").inc()
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                if tracer is not None:
+                    tracer.metrics.counter("cache.evictions").inc()
+            return result
 
     def peek(self, key: tuple) -> EvaluationResult | None:
         """The entry under *key*, without touching LRU order or stats."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def check_invariants(self) -> None:
         """Assert the cache is in a consistent, uncorrupted state.
@@ -168,18 +191,25 @@ class EvaluationCache:
         arithmetic must add up, the LRU bound must hold, and every
         retained entry must be *complete* (all nodes of its tree were
         evaluated -- no partial result survived an aborted run).
-        Raises :class:`AssertionError` on violation.
+        Raises :class:`AssertionError` on violation.  Takes the cache
+        lock, so it sees a consistent point-in-time state even while
+        worker threads keep using the cache.
         """
-        assert self.stats.lookups == self.stats.hits + self.stats.misses
-        assert 0 <= self.stats.evaluations <= self.stats.misses
-        assert len(self._entries) <= self.maxsize
-        for entry in self._entries.values():
+        with self._lock:
+            assert (
+                self.stats.lookups == self.stats.hits + self.stats.misses
+            )
+            assert 0 <= self.stats.evaluations <= self.stats.misses
+            assert len(self._entries) <= self.maxsize
+            entries = list(self._entries.values())
+        for entry in entries:
             for node in entry.root.postorder():
                 entry.output(node)  # raises EvaluationError if missing
 
     def clear(self) -> None:
         """Drop all entries (counters are kept; use ``stats.reset()``)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -29,15 +29,22 @@ contained:
   persistently failing site;
 * :mod:`~repro.robustness.journal` -- :class:`BatchJournal`, the
   fsync-per-record write-ahead log that lets a killed batch resume
-  where it died.
+  where it died;
+* :mod:`~repro.robustness.executor` -- :class:`ParallelExecutor` /
+  :class:`CancellationToken`: the supervised worker pool behind
+  ``NedExplain.explain_each(workers=N)``, with bounded-queue
+  backpressure, deterministic load shedding, batch deadlines, and
+  graceful signal-triggered drains.
 """
 
 from ..errors import (
     BatchError,
     BudgetExceededError,
+    CancelledError,
     ConfigurationError,
     InjectedFaultError,
     JournalError,
+    LoadShedError,
 )
 from .budget import (
     Budget,
@@ -46,17 +53,20 @@ from .budget import (
     current_context,
     execution_context,
 )
+from .executor import CancellationToken, ParallelExecutor
 from .faults import (
     FAULT_KINDS,
+    FAULT_SCOPES,
     FAULT_SITES,
     FaultPlan,
     FaultSpec,
     active_plan,
     fault_point,
+    fault_scope,
     inject,
 )
 from .breaker import CircuitBreaker, CircuitBreakerBoard
-from .journal import BatchJournal
+from .journal import BatchJournal, question_digest
 from .outcomes import (
     DEGRADATION_LEVELS,
     FailureInfo,
@@ -71,6 +81,8 @@ __all__ = [
     "Budget",
     "BudgetExceededError",
     "BudgetSpent",
+    "CancellationToken",
+    "CancelledError",
     "CircuitBreaker",
     "CircuitBreakerBoard",
     "ConfigurationError",
@@ -78,12 +90,15 @@ __all__ = [
     "DegradationLadder",
     "ExecutionContext",
     "FAULT_KINDS",
+    "FAULT_SCOPES",
     "FAULT_SITES",
     "FailureInfo",
     "FaultPlan",
     "FaultSpec",
     "InjectedFaultError",
     "JournalError",
+    "LoadShedError",
+    "ParallelExecutor",
     "QuestionOutcome",
     "ReplayedOutcome",
     "RetryPolicy",
@@ -91,5 +106,7 @@ __all__ = [
     "current_context",
     "execution_context",
     "fault_point",
+    "fault_scope",
     "inject",
+    "question_digest",
 ]

@@ -27,6 +27,7 @@ breaker still converges on e.g. a persistently failing evaluator.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 
 from ..errors import ConfigurationError
@@ -56,7 +57,12 @@ class CircuitBreaker:
     ``window`` bounds the sliding window of recorded call results;
     the breaker trips when at least ``min_calls`` results are in the
     window and the failure fraction reaches ``failure_threshold``.
-    Not thread-safe (the engine is single-threaded per batch).
+    Thread-safe: state transitions and window mutation happen under an
+    internal lock, so the worker threads of a parallel batch share one
+    breaker without tearing its window.  (Which worker's failure trips
+    the breaker still depends on scheduling -- shared breaker state is
+    inherently order-dependent; deterministic differential tests pass a
+    board lenient enough never to trip.)
     """
 
     def __init__(
@@ -96,6 +102,7 @@ class CircuitBreaker:
         self.opens = 0
         self._results: deque[bool] = deque(maxlen=window)
         self._opened_at: float | None = None
+        self._lock = threading.RLock()
         self._publish_state()
 
     # ------------------------------------------------------------------
@@ -105,41 +112,51 @@ class CircuitBreaker:
         An open breaker transitions to half-open (and admits one probe)
         once its cooldown has elapsed on the clock.
         """
-        if self.state == OPEN:
-            assert self._opened_at is not None
-            if (
-                self.clock.monotonic() - self._opened_at
-                >= self.cooldown_s
-            ):
-                self._transition(HALF_OPEN)
-                return True
-            return False
-        return True
+        with self._lock:
+            if self.state == OPEN:
+                assert self._opened_at is not None
+                if (
+                    self.clock.monotonic() - self._opened_at
+                    >= self.cooldown_s
+                ):
+                    self._transition(HALF_OPEN)
+                    return True
+                return False
+            return True
 
     def record_success(self) -> None:
-        self._results.append(True)
-        if self.state == HALF_OPEN:
-            # the probe came back healthy: close and forget the past
-            self._results.clear()
-            self._transition(CLOSED)
+        with self._lock:
+            self._results.append(True)
+            if self.state == HALF_OPEN:
+                # the probe came back healthy: close and forget the past
+                self._results.clear()
+                self._transition(CLOSED)
 
     def record_failure(self) -> None:
-        self._results.append(False)
-        if self.state == HALF_OPEN:
-            self._trip()  # the probe failed: straight back to open
-            return
-        if self.state == CLOSED and len(self._results) >= self.min_calls:
-            failures = sum(1 for ok in self._results if not ok)
-            if failures / len(self._results) >= self.failure_threshold:
-                self._trip()
+        with self._lock:
+            self._results.append(False)
+            if self.state == HALF_OPEN:
+                self._trip()  # the probe failed: straight back to open
+                return
+            if (
+                self.state == CLOSED
+                and len(self._results) >= self.min_calls
+            ):
+                failures = sum(1 for ok in self._results if not ok)
+                if (
+                    failures / len(self._results)
+                    >= self.failure_threshold
+                ):
+                    self._trip()
 
     @property
     def failure_rate(self) -> float:
-        if not self._results:
-            return 0.0
-        return sum(1 for ok in self._results if not ok) / len(
-            self._results
-        )
+        with self._lock:
+            if not self._results:
+                return 0.0
+            return sum(1 for ok in self._results if not ok) / len(
+                self._results
+            )
 
     # ------------------------------------------------------------------
     def _trip(self) -> None:
@@ -195,15 +212,17 @@ class CircuitBreakerBoard:
         )
         self._clock = clock
         self._breakers: dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
 
     def breaker(self, site: str) -> CircuitBreaker:
-        existing = self._breakers.get(site)
-        if existing is None:
-            existing = CircuitBreaker(
-                site, clock=self._clock, **self._config
-            )
-            self._breakers[site] = existing
-        return existing
+        with self._lock:
+            existing = self._breakers.get(site)
+            if existing is None:
+                existing = CircuitBreaker(
+                    site, clock=self._clock, **self._config
+                )
+                self._breakers[site] = existing
+            return existing
 
     def allow(self, site: str) -> bool:
         return self.breaker(site).allow()
@@ -216,10 +235,9 @@ class CircuitBreakerBoard:
 
     def states(self) -> dict[str, str]:
         """Current state per site (for reports and tests)."""
-        return {
-            site: breaker.state
-            for site, breaker in sorted(self._breakers.items())
-        }
+        with self._lock:
+            breakers = sorted(self._breakers.items())
+        return {site: breaker.state for site, breaker in breakers}
 
     def __len__(self) -> int:
         return len(self._breakers)

@@ -31,7 +31,9 @@ degradation from the same harness.
 from __future__ import annotations
 
 import random
+import threading
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -53,6 +55,36 @@ FAULT_SITES: tuple[str, ...] = (
 
 #: The two injectable failure kinds.
 FAULT_KINDS: tuple[str, ...] = ("error", "budget")
+
+#: Counter scopes a plan can fire on: ``"global"`` counts every
+#: invocation of a site process-wide (order-dependent across questions
+#: -- only meaningful for sequential batches); ``"question"`` counts
+#: per ambient :func:`fault_scope` key, so a spec at ``site#n`` fires at
+#: the n-th call *within each question* regardless of how questions
+#: interleave across worker threads.
+FAULT_SCOPES: tuple[str, ...] = ("global", "question")
+
+#: The ambient per-question counter key (installed by
+#: ``NedExplain._resolve_outcome`` for the span of one question,
+#: across all of its retry attempts).
+_SCOPE: ContextVar[str | None] = ContextVar(
+    "repro_fault_scope", default=None
+)
+
+
+@contextmanager
+def fault_scope(key: str) -> Iterator[None]:
+    """Install *key* as the ambient fault-counter scope for the block.
+
+    Question-scoped plans (``FaultPlan(scope="question")``) count site
+    invocations per key instead of globally, which is what makes a
+    seeded plan fire identically whether the batch runs sequentially or
+    on a worker pool."""
+    token = _SCOPE.set(key)
+    try:
+        yield
+    finally:
+        _SCOPE.reset(token)
 
 
 @dataclass(frozen=True)
@@ -95,17 +127,38 @@ class FaultPlan:
     ``fired`` records the specs that actually triggered, so tests can
     assert both coverage (the plan was reachable) and determinism (two
     runs of the same seed fire identically).
+
+    All counter mutation happens under one internal lock, so
+    ``snapshot()``/``delta()`` stay exact when ``fault_point`` is hit
+    from several worker threads at once.  Firing *decisions* use the
+    counters selected by ``scope`` (see :data:`FAULT_SCOPES`): the
+    default global counters are inherently order-dependent across
+    questions, while ``scope="question"`` keys them by the ambient
+    :func:`fault_scope` so a plan fires identically under any worker
+    interleaving.
     """
 
     def __init__(
-        self, specs: Iterable[FaultSpec] = (), seed: int | None = None
+        self,
+        specs: Iterable[FaultSpec] = (),
+        seed: int | None = None,
+        scope: str = "global",
     ):
+        if scope not in FAULT_SCOPES:
+            raise ConfigurationError(
+                f"unknown fault scope {scope!r}; choose from "
+                f"{FAULT_SCOPES}"
+            )
         self.specs = tuple(specs)
         self.seed = seed
+        self.scope = scope
         self._by_site: dict[str, dict[int, FaultSpec]] = {}
         for spec in self.specs:
             self._by_site.setdefault(spec.site, {})[spec.at_call] = spec
+        self._lock = threading.Lock()
         self.calls: dict[str, int] = {}
+        #: per-``fault_scope``-key call counts (question scope only)
+        self._scoped_calls: dict[str, dict[str, int]] = {}
         self.fired: list[FaultSpec] = []
 
     @classmethod
@@ -116,6 +169,7 @@ class FaultPlan:
         faults: int = 1,
         max_call: int = 12,
         budget_rate: float = 0.3,
+        scope: str = "global",
     ) -> "FaultPlan":
         """A seeded plan: *faults* specs drawn uniformly over *sites*
         and call indexes ``[0, max_call)``; a ``budget_rate`` fraction
@@ -132,26 +186,36 @@ class FaultPlan:
                     else "error",
                 )
             )
-        return cls(specs, seed=seed)
+        return cls(specs, seed=seed, scope=scope)
 
     def fire(self, site: str) -> None:
         """Count one invocation of *site*; raise if a spec matches."""
-        index = self.calls.get(site, 0)
-        self.calls[site] = index + 1
-        spec = self._by_site.get(site, {}).get(index)
+        with self._lock:
+            index = self.calls.get(site, 0)
+            self.calls[site] = index + 1
+            if self.scope == "question":
+                key = _SCOPE.get()
+                if key is not None:
+                    per_site = self._scoped_calls.setdefault(key, {})
+                    index = per_site.get(site, 0)
+                    per_site[site] = index + 1
+            spec = self._by_site.get(site, {}).get(index)
+            if spec is not None:
+                self.fired.append(spec)
         tracer = current_tracer()
         if tracer is not None:
             tracer.metrics.counter(f"faults.calls.{site}").inc()
-        if spec is not None:
-            self.fired.append(spec)
-            if tracer is not None:
+            if spec is not None:
                 tracer.metrics.counter(f"faults.fired.{site}").inc()
+        if spec is not None:
             raise spec.build_error()
 
     def reset(self) -> None:
         """Forget all call counts and fired records (reuse a plan)."""
-        self.calls = {}
-        self.fired = []
+        with self._lock:
+            self.calls = {}
+            self._scoped_calls = {}
+            self.fired = []
 
     def snapshot(self) -> dict[str, int]:
         """A frozen copy of the per-site call counts.
@@ -161,7 +225,8 @@ class FaultPlan:
         consumed -- the retry chaos tests pin down which attempt a
         retried fault burned this way.
         """
-        return dict(self.calls)
+        with self._lock:
+            return dict(self.calls)
 
     def delta(self, since: dict[str, int]) -> dict[str, int]:
         """Per-site calls made after *since* (a :meth:`snapshot`).
@@ -169,10 +234,11 @@ class FaultPlan:
         Only sites with a positive delta appear in the result.
         """
         out: dict[str, int] = {}
-        for site, count in self.calls.items():
-            consumed = count - since.get(site, 0)
-            if consumed > 0:
-                out[site] = consumed
+        with self._lock:
+            for site, count in self.calls.items():
+                consumed = count - since.get(site, 0)
+                if consumed > 0:
+                    out[site] = consumed
         return out
 
     def __repr__(self) -> str:
@@ -182,8 +248,10 @@ class FaultPlan:
         )
 
 
-#: The currently installed plan (module-global: the chaos suite is
-#: single-threaded; production code never installs one).
+#: The currently installed plan (module-global on purpose: one plan
+#: governs the whole batch, including every worker thread of a
+#: parallel run; production code never installs one).  The plan itself
+#: is thread-safe -- its counters mutate under an internal lock.
 _ACTIVE: FaultPlan | None = None
 
 

@@ -14,15 +14,32 @@ Crash-safety rules on load:
 * a torn trailing line (the process died mid-``write``) is discarded;
 * replay stops at the *first* record that fails to parse or verify --
   an append-only log is only trustworthy up to its first corruption;
-* a record whose question text differs from the batch being resumed
-  raises :class:`~repro.errors.JournalError`: that journal belongs to
-  a different batch, and replaying it would silently merge two runs.
+* a record whose question identity (text + digest) differs from the
+  batch being resumed raises :class:`~repro.errors.JournalError`:
+  that journal belongs to a different batch, and replaying it would
+  silently merge two runs.
 
-The ``REPRO_JOURNAL_CRASH_AFTER`` environment variable makes the
-journal SIGKILL its own process immediately after the N-th record is
-durably appended -- the deterministic "pull the plug" hook the
-kill/resume differential test (and the ``chaos-resume`` CI job) is
-built on.  It is inert unless explicitly set.
+Records are keyed by **question identity**: the submission index plus a
+stable SHA-256 digest of the question text.  A parallel batch journals
+outcomes in *completion* order, which is not index order, so resume
+must not assume a positional prefix -- any subset of indexes may be
+present after a crash, each replayed independently.  Appends are
+serialized under an internal lock (worker threads of a
+:class:`~repro.robustness.executor.ParallelExecutor` share one
+journal), and each record is still flushed + ``fsync``-ed before the
+append returns.
+
+Two environment hooks drive the crash/drain test harnesses (inert
+unless explicitly set):
+
+* ``REPRO_JOURNAL_CRASH_AFTER`` -- SIGKILL this process immediately
+  after the N-th record is durably appended: the deterministic "pull
+  the plug" of the kill/resume differential (the ``chaos-resume`` and
+  ``chaos-parallel`` CI jobs);
+* ``REPRO_JOURNAL_SIGINT_AFTER`` -- send this process one SIGINT after
+  the N-th append: the deterministic trigger of the graceful-drain
+  test (the CLI finishes in-flight questions, journals them, and exits
+  with the documented drain code).
 """
 
 from __future__ import annotations
@@ -31,18 +48,29 @@ import hashlib
 import json
 import os
 import signal
+import threading
 from pathlib import Path
 from typing import Any, Mapping
 
 from ..errors import ConfigurationError, JournalError
 
-__all__ = ["BatchJournal"]
+__all__ = ["BatchJournal", "question_digest"]
 
-#: Journal record format version.
-JOURNAL_VERSION = 1
+#: Journal record format version.  Version 2 added the ``qdigest``
+#: question-identity field; version-1 records fail verification and are
+#: discarded on load (a v1 journal simply resumes from zero).
+JOURNAL_VERSION = 2
 
 #: Environment hook: SIGKILL this process after N durable appends.
 CRASH_AFTER_ENV = "REPRO_JOURNAL_CRASH_AFTER"
+
+#: Environment hook: SIGINT this process (once) after N durable appends.
+SIGINT_AFTER_ENV = "REPRO_JOURNAL_SIGINT_AFTER"
+
+
+def question_digest(question: str) -> str:
+    """Stable identity digest of one question's text (SHA-256 prefix)."""
+    return hashlib.sha256(question.encode("utf-8")).hexdigest()[:16]
 
 
 def _checksum(record: Mapping[str, Any]) -> str:
@@ -66,6 +94,7 @@ class BatchJournal:
     def __init__(self, path: str | Path, resume: bool = False):
         self.path = Path(path)
         self.resume = resume
+        self._lock = threading.RLock()
         self._records: dict[int, dict] = {}
         self.discarded = 0  # torn/corrupt records dropped on load
         if resume and self.path.exists():
@@ -77,6 +106,9 @@ class BatchJournal:
         self._appended = 0
         raw = os.environ.get(CRASH_AFTER_ENV, "")
         self._crash_after = int(raw) if raw.strip() else 0
+        raw = os.environ.get(SIGINT_AFTER_ENV, "")
+        self._sigint_after = int(raw) if raw.strip() else 0
+        self._sigint_sent = False
 
     # ------------------------------------------------------------------
     # Load (resume)
@@ -102,10 +134,14 @@ class BatchJournal:
     def _verify(record: Any) -> bool:
         if not isinstance(record, dict):
             return False
-        required = {"v", "index", "question", "outcome", "checksum"}
+        required = {
+            "v", "index", "question", "qdigest", "outcome", "checksum",
+        }
         if not required <= set(record):
             return False
         if record["v"] != JOURNAL_VERSION:
+            return False
+        if record["qdigest"] != question_digest(str(record["question"])):
             return False
         return _checksum(record) == record["checksum"]
 
@@ -115,14 +151,23 @@ class BatchJournal:
     def completed(self, index: int, question: str) -> dict | None:
         """The journalled outcome dict for *index*, or ``None``.
 
-        Raises :class:`~repro.errors.JournalError` when the journal has
-        a record at *index* for a *different* question -- the log
-        belongs to another batch.
+        Records are matched by full question identity -- submission
+        index plus question digest -- so a resumed parallel batch
+        (whose journal holds an arbitrary, gap-filled subset of
+        indexes, appended in completion order) replays exactly the
+        questions that finished.  Raises
+        :class:`~repro.errors.JournalError` when the journal has a
+        record at *index* for a *different* question -- the log belongs
+        to another batch.
         """
-        record = self._records.get(index)
+        with self._lock:
+            record = self._records.get(index)
         if record is None:
             return None
-        if record["question"] != question:
+        if (
+            record["question"] != question
+            or record["qdigest"] != question_digest(question)
+        ):
             raise JournalError(
                 f"journal {self.path} records question "
                 f"{record['question']!r} at index {index}, but the "
@@ -134,40 +179,64 @@ class BatchJournal:
     def record(
         self, index: int, question: str, outcome: Mapping[str, Any]
     ) -> None:
-        """Durably append one resolved question (write + flush + fsync)."""
-        if self._file.closed:
-            raise ConfigurationError(
-                f"journal {self.path} is closed; no further records "
-                "can be appended"
+        """Durably append one resolved question (write + flush + fsync).
+
+        Safe to call from several worker threads: the write + fsync +
+        bookkeeping of one record is atomic under the journal lock, so
+        concurrent appends interleave as whole lines, never torn ones.
+        """
+        with self._lock:
+            if self._file.closed:
+                raise ConfigurationError(
+                    f"journal {self.path} is closed; no further "
+                    "records can be appended"
+                )
+            entry: dict[str, Any] = {
+                "v": JOURNAL_VERSION,
+                "index": index,
+                "question": question,
+                "qdigest": question_digest(question),
+                "outcome": dict(outcome),
+            }
+            entry["checksum"] = _checksum(entry)
+            self._file.write(
+                json.dumps(entry, sort_keys=True, default=str) + "\n"
             )
-        entry: dict[str, Any] = {
-            "v": JOURNAL_VERSION,
-            "index": index,
-            "question": question,
-            "outcome": dict(outcome),
-        }
-        entry["checksum"] = _checksum(entry)
-        self._file.write(
-            json.dumps(entry, sort_keys=True, default=str) + "\n"
-        )
-        self._file.flush()
-        os.fsync(self._file.fileno())
-        self._records[index] = entry
-        self._appended += 1
-        if self._crash_after and self._appended >= self._crash_after:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._records[index] = entry
+            self._appended += 1
+            crash = (
+                self._crash_after
+                and self._appended >= self._crash_after
+            )
+            drain = (
+                self._sigint_after
+                and not self._sigint_sent
+                and self._appended >= self._sigint_after
+            )
+            if drain:
+                self._sigint_sent = True
+        if crash:
             # the chaos-resume harness: die like a power cut, AFTER the
             # record is durable -- no atexit, no buffers, no cleanup
             os.kill(os.getpid(), signal.SIGKILL)
+        if drain:
+            # the graceful-drain harness: ask the process to stop, once,
+            # exactly as an operator's Ctrl-C would
+            os.kill(os.getpid(), signal.SIGINT)
 
     # ------------------------------------------------------------------
     @property
     def replayable_count(self) -> int:
         """Records loaded from a previous run (before any appends)."""
-        return len(self._records) - self._appended
+        with self._lock:
+            return len(self._records) - self._appended
 
     def close(self) -> None:
-        if not self._file.closed:
-            self._file.close()
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
 
     def __enter__(self) -> "BatchJournal":
         return self

@@ -16,6 +16,14 @@ resolved the question -- ``"full"`` (a complete report),
 baseline answered after NedExplain's retries were exhausted; the
 answer lives in ``outcome.baseline``, the triggering error in
 ``outcome.failure``), or ``"failed"`` (nothing produced an answer).
+
+The parallel executor (PR 5) adds two explicit admission-side levels:
+``"shed"`` (the question was refused by the load-shedding quota and
+did no work -- never silently dropped, always an outcome carrying a
+:class:`~repro.errors.LoadShedError`) and ``"cancelled"`` (a
+cooperative drain -- SIGINT/SIGTERM or an expired batch deadline --
+stopped the batch before this question started; in-flight questions
+always finish, so a cancelled question simply never ran).
 """
 
 from __future__ import annotations
@@ -30,12 +38,17 @@ if TYPE_CHECKING:  # avoid a runtime cycle with repro.core / repro.baseline
     from ..baseline.whynot import WhyNotBaselineReport
     from ..core.answers import NedExplainReport
 
-#: The rungs of the degradation ladder, best first.
+#: The rungs of the degradation ladder, best first.  ``shed`` and
+#: ``cancelled`` are admission-side rungs of parallel batches: the
+#: question produced no answer because it was never *started* (quota
+#: refusal / cooperative drain), not because execution failed.
 DEGRADATION_LEVELS: tuple[str, ...] = (
     "full",
     "partial",
     "baseline",
     "failed",
+    "shed",
+    "cancelled",
 )
 
 

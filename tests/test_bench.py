@@ -48,6 +48,13 @@ class TestRunner:
         result = run_use_case("Gov7", run_baseline=False)
         assert "{}" in result.ned_answer_text()
 
+    def test_parallel_run_matches_sequential(self, crime5):
+        """The workers knob routes through the parallel executor and
+        must not change a benchmark's answers."""
+        parallel = run_use_case("Crime5", workers=4)
+        assert parallel.ned_answer_text() == crime5.ned_answer_text()
+        assert parallel.ned.summary() == crime5.ned.summary()
+
 
 class TestPhases:
     def test_accumulator(self, crime5):

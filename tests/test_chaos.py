@@ -21,6 +21,8 @@ After every plan the suite asserts the full robustness contract:
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.core import NedExplain, canonicalize
@@ -28,7 +30,13 @@ from repro.errors import ReproError, SchemaError
 from repro.obs import ManualClock, use_clock
 from repro.relational import EvaluationCache
 from repro.relational.csv_io import load_database, save_database
-from repro.robustness import FaultPlan, FaultSpec, RetryPolicy, inject
+from repro.robustness import (
+    CircuitBreakerBoard,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    inject,
+)
 from repro.workloads.generator import chain_database, chain_query
 
 SEEDS = range(220)
@@ -255,3 +263,122 @@ def test_retried_run_is_deterministic():
             _outcome_shape(o) for o in second
         ]
         assert plan_a.fired == plan_b.fired
+
+
+# ---------------------------------------------------------------------------
+# Parallel chaos: the same contract under the supervised executor
+# ---------------------------------------------------------------------------
+#: Seeds for the workers=4 contract sweep over ALL fault sites.
+PARALLEL_SEEDS = range(60)
+#: Seeds for the sequential-vs-parallel byte differential.
+DIFFERENTIAL_SEEDS = range(40)
+#: Sites whose firing pattern is a pure function of the question under
+#: question-scoped counting, hence safe for byte-identical
+#: differentials.  ``cache.store``/``operator.apply`` fire inside the
+#: single-flight cache miss, so *which question's thread* reaches them
+#: depends on scheduling -- they are exercised by the contract sweep
+#: above instead.
+SAFE_SITES = ("cache.lookup", "compatible.find")
+
+
+def _run_parallel_with_plan(plan, workers=4):
+    cache = EvaluationCache()
+    engine = NedExplain(_CANONICAL, database=_DB, cache=cache)
+    if plan is None:
+        return engine.explain_each(QUESTIONS, workers=workers), cache
+    with inject(plan):
+        return engine.explain_each(QUESTIONS, workers=workers), cache
+
+
+@pytest.mark.parametrize("seed", PARALLEL_SEEDS)
+def test_parallel_seeded_fault_contract(seed):
+    """The full robustness contract of the sequential sweep, with four
+    workers racing over the shared cache: totality, containment,
+    isolation of un-degraded outcomes, and cache/database invariants."""
+    plan = FaultPlan.random(seed, faults=1 + seed % 3)
+    outcomes, cache = _run_parallel_with_plan(plan)
+
+    assert len(outcomes) == len(QUESTIONS)
+    for index, outcome in enumerate(outcomes):
+        if outcome.ok:
+            if not outcome.partial:
+                assert _fingerprint(outcome.report) == _ORACLE_PRINTS[
+                    index
+                ], f"seed {seed}: question {index} diverged"
+            else:
+                assert outcome.report.degraded_reason
+        else:
+            assert isinstance(outcome.error, ReproError)
+            assert outcome.failure is not None
+            assert outcome.failure.error_class
+    cache.check_invariants()
+    assert _DB.data_key == _DATA_KEY, "a parallel fault mutated the db"
+
+
+def _outcome_bytes(outcomes) -> str:
+    """The canonical byte form the CLI's --json document uses."""
+    return json.dumps(
+        [o.to_dict() for o in outcomes], sort_keys=True, default=str
+    )
+
+
+def _run_scoped_differential(seed: int, workers: int):
+    """One retried, fault-injected batch on a manual clock.
+
+    Question-scoped fault counting plus per-question clock forks make
+    the run a pure function of (seed, questions) -- the worker count
+    must not show up in the output at all.  The breaker board is
+    explicit and lenient: shared breaker state trips in completion
+    order, which is the one piece of state that *is* allowed to differ
+    across schedules, so the differential keeps it out of the loop.
+    """
+    plan = FaultPlan.random(
+        seed,
+        sites=SAFE_SITES,
+        faults=2,
+        max_call=4,
+        budget_rate=0.3,
+        scope="question",
+    )
+    cache = EvaluationCache()
+    engine = NedExplain(_CANONICAL, database=_DB, cache=cache)
+    retry = RetryPolicy(max_attempts=3, backoff_ms=1.0)
+    breakers = CircuitBreakerBoard(window=1024, min_calls=1024)
+    with use_clock(ManualClock()), inject(plan):
+        outcomes = engine.explain_each(
+            QUESTIONS, retry=retry, breakers=breakers, workers=workers
+        )
+    return outcomes, plan
+
+
+def test_parallel_plain_run_is_byte_identical():
+    """workers=4 vs sequential, no faults: byte-identical outcomes."""
+    with use_clock(ManualClock()):
+        sequential, _ = _run_with_plan(_DB, _CANONICAL, None)
+    with use_clock(ManualClock()):
+        parallel, _ = _run_parallel_with_plan(None)
+    assert _outcome_bytes(parallel) == _outcome_bytes(sequential)
+
+
+@pytest.mark.parametrize("seed", DIFFERENTIAL_SEEDS)
+def test_parallel_fault_run_is_byte_identical(seed):
+    """Retries + question-scoped faults: workers=4 output is
+    byte-for-byte the sequential output, and the per-site fault deltas
+    agree exactly (satellite: atomic per-site counters)."""
+    sequential, seq_plan = _run_scoped_differential(seed, workers=1)
+    parallel, par_plan = _run_scoped_differential(seed, workers=4)
+    assert _outcome_bytes(parallel) == _outcome_bytes(sequential), (
+        f"seed {seed}: parallel outcomes diverged from sequential"
+    )
+    assert seq_plan.snapshot() == par_plan.snapshot(), (
+        f"seed {seed}: fault counters diverged under concurrency"
+    )
+
+
+def test_parallel_differential_faults_actually_fire():
+    """The differential must exercise real faults, not 40 clean runs."""
+    fired = 0
+    for seed in DIFFERENTIAL_SEEDS:
+        _, plan = _run_scoped_differential(seed, workers=4)
+        fired += len(plan.fired)
+    assert fired >= len(list(DIFFERENTIAL_SEEDS)) // 2

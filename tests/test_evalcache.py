@@ -289,3 +289,123 @@ def test_cached_result_survives_gc_and_id_reuse():
         for node in fresh.root.postorder()
     ]
     assert got == expected
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: single-flight misses, counter exactness, invariants
+# under thread races and injected faults (the parallel executor
+# hammers this cache from N workers)
+# ---------------------------------------------------------------------------
+def test_concurrent_same_key_is_single_flight():
+    """N threads racing on one cold key: exactly one evaluation, one
+    miss, N-1 hits -- the lock is held across the miss evaluation."""
+    import threading
+
+    db = make_db()
+    cache = EvaluationCache()
+    threads = 8
+    barrier = threading.Barrier(threads)
+    errors = []
+
+    def fetch():
+        canonical = canonicalize(make_spec(1), db.schema)
+        barrier.wait()
+        try:
+            cache_fetch(cache, db, canonical)
+        except Exception as exc:  # noqa: BLE001 -- collected for assert
+            errors.append(exc)
+
+    pool = [threading.Thread(target=fetch) for _ in range(threads)]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    assert not errors
+    assert cache.stats.evaluations == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == threads - 1
+    cache.check_invariants()
+
+
+def test_concurrent_mixed_keys_with_evictions_keep_invariants():
+    """8 threads over 4 keys in a 2-entry cache: counters stay exact
+    (hits + misses == requests) and the LRU structure stays sound."""
+    import threading
+
+    db = make_db()
+    cache = EvaluationCache(maxsize=2)
+    threads, rounds, bounds = 8, 10, (0, 1, 2, 3)
+    barrier = threading.Barrier(threads)
+    errors = []
+
+    def hammer(offset):
+        barrier.wait()
+        try:
+            for r in range(rounds):
+                bound = bounds[(offset + r) % len(bounds)]
+                canonical = canonicalize(make_spec(bound), db.schema)
+                cache_fetch(cache, db, canonical)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    pool = [
+        threading.Thread(target=hammer, args=(n,)) for n in range(threads)
+    ]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join()
+    assert not errors
+    stats = cache.stats
+    assert stats.hits + stats.misses == threads * rounds
+    assert stats.evaluations == stats.misses
+    cache.check_invariants()
+
+
+def test_concurrent_faulted_access_never_corrupts_the_cache():
+    """Seeded cache-site faults while 4 threads race: every faulted
+    call raises a contained ReproError and the cache invariants hold
+    after every seed (no partial entries, no broken LRU links)."""
+    import threading
+
+    from repro.errors import ReproError
+    from repro.robustness import FaultPlan, inject
+
+    db = make_db()
+    for seed in range(20):
+        cache = EvaluationCache(maxsize=2)
+        plan = FaultPlan.random(
+            seed,
+            sites=("cache.lookup", "cache.store"),
+            faults=2,
+            max_call=8,
+            budget_rate=0.0,
+        )
+        barrier = threading.Barrier(4)
+        unexpected = []
+
+        def worker(offset, cache=cache, barrier=barrier,
+                   unexpected=unexpected):
+            barrier.wait()
+            for r in range(6):
+                canonical = canonicalize(
+                    make_spec((offset + r) % 3), db.schema
+                )
+                try:
+                    cache_fetch(cache, db, canonical)
+                except ReproError:
+                    continue  # contained: the injected fault
+                except Exception as exc:  # noqa: BLE001
+                    unexpected.append(exc)
+
+        with inject(plan):
+            pool = [
+                threading.Thread(target=worker, args=(n,))
+                for n in range(4)
+            ]
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join()
+        assert not unexpected, f"seed {seed}: {unexpected!r}"
+        cache.check_invariants()

@@ -166,6 +166,68 @@ class TestBatchJournal:
             journal.record(0, "(q: 1)", _outcome_dict())
         assert path.exists()
 
+    def test_out_of_order_appends_resume_by_identity(self, tmp_path):
+        """Parallel workers journal in completion order; resume matches
+        records by (index, question digest), not file position."""
+        path = tmp_path / "batch.jsonl"
+        with BatchJournal(path) as journal:
+            journal.record(2, "(q: 3)", _outcome_dict("(q: 3)"))
+            journal.record(0, "(q: 1)", _outcome_dict())
+        resumed = BatchJournal(path, resume=True)
+        assert resumed.replayable_count == 2
+        assert resumed.completed(0, "(q: 1)") == _outcome_dict()
+        assert resumed.completed(2, "(q: 3)") == _outcome_dict("(q: 3)")
+        assert resumed.completed(1, "(q: 2)") is None
+        resumed.close()
+
+    def test_records_carry_the_question_digest(self, tmp_path):
+        from repro.robustness import question_digest
+
+        path = tmp_path / "batch.jsonl"
+        with BatchJournal(path) as journal:
+            journal.record(0, "(q: 1)", _outcome_dict())
+        record = json.loads(path.read_text())
+        assert record["v"] == JOURNAL_VERSION
+        assert record["qdigest"] == question_digest("(q: 1)")
+
+    def test_tampered_digest_is_discarded(self, tmp_path):
+        path = tmp_path / "batch.jsonl"
+        with BatchJournal(path) as journal:
+            journal.record(0, "(q: 1)", _outcome_dict())
+        record = json.loads(path.read_text())
+        record["qdigest"] = "0" * 16  # forge, then re-checksum
+        record.pop("checksum")
+        record["checksum"] = _checksum(record)
+        path.write_text(json.dumps(record, sort_keys=True) + "\n")
+        resumed = BatchJournal(path, resume=True)
+        assert resumed.replayable_count == 0
+        assert resumed.discarded == 1
+        resumed.close()
+
+    def test_concurrent_appends_are_serialized(self, tmp_path):
+        import threading
+
+        path = tmp_path / "batch.jsonl"
+        with BatchJournal(path) as journal:
+            threads = [
+                threading.Thread(
+                    target=journal.record,
+                    args=(i, f"(q: {i})", _outcome_dict(f"(q: {i})")),
+                )
+                for i in range(16)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # every record is a whole, verifiable line: nothing interleaved
+        resumed = BatchJournal(path, resume=True)
+        assert resumed.replayable_count == 16
+        assert resumed.discarded == 0
+        for i in range(16):
+            assert resumed.completed(i, f"(q: {i})") is not None
+        resumed.close()
+
 
 # ---------------------------------------------------------------------------
 # explain_each integration: journaling and replay
@@ -366,3 +428,209 @@ class TestKillResumeDifferential:
         assert resumed.replayable_count == 2
         assert resumed.discarded == 0
         resumed.close()
+
+
+# ---------------------------------------------------------------------------
+# Parallel differentials: workers=4 byte-identity, SIGKILL resume under
+# concurrency, and the SIGINT graceful-drain proof (exit code 5)
+# ---------------------------------------------------------------------------
+class TestParallelDrainAndResume:
+    """The concurrency half of the resume proof, end to end over the CLI."""
+
+    NAMES = ["Homer", "Vergil", "Sappho", "Ovid", "Hesiod", "Pindar"]
+    CLI_QUESTIONS = [f"(A.name: {name})" for name in NAMES]
+
+    def _database_dir(self, root: Path) -> Path:
+        from repro import Database
+
+        db = Database()
+        db.create_table("A", ["aid", "name", "dob"], key="aid")
+        for n, (name, dob) in enumerate(
+            zip(self.NAMES, [-800, -70, -630, -43, -750, -518])
+        ):
+            db.insert("A", aid=f"a{n}", name=name, dob=dob)
+        save_database(db, root / "db")
+        return root / "db"
+
+    def _cli(
+        self,
+        data_dir: Path,
+        journal: Path | None = None,
+        resume: bool = False,
+        workers: int | None = None,
+    ):
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "explain",
+            "--data",
+            str(data_dir),
+            "--sql",
+            "SELECT A.name FROM A WHERE A.dob > -800",
+            "--json",
+            "--batch",
+        ]
+        if journal is not None:
+            argv += ["--journal", str(journal)]
+        for question in self.CLI_QUESTIONS:
+            argv += ["--why-not", question]
+        if resume:
+            argv.append("--resume")
+        if workers is not None:
+            argv += ["--workers", str(workers)]
+        return argv
+
+    def _env(
+        self,
+        crash_after: int | None = None,
+        sigint_after: int | None = None,
+    ) -> dict:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+        env["REPRO_MANUAL_CLOCK"] = "1"
+        env.pop("REPRO_JOURNAL_CRASH_AFTER", None)
+        env.pop("REPRO_JOURNAL_SIGINT_AFTER", None)
+        if crash_after is not None:
+            env["REPRO_JOURNAL_CRASH_AFTER"] = str(crash_after)
+        if sigint_after is not None:
+            env["REPRO_JOURNAL_SIGINT_AFTER"] = str(sigint_after)
+        return env
+
+    def _artifact_dir(self, tmp_path: Path) -> Path:
+        configured = os.environ.get("REPRO_CHAOS_ARTIFACT_DIR")
+        if configured:
+            path = Path(configured)
+            path.mkdir(parents=True, exist_ok=True)
+            return path
+        return tmp_path
+
+    def test_workers4_json_is_byte_identical_to_sequential(self, tmp_path):
+        """The acceptance lock: under REPRO_MANUAL_CLOCK, a --workers 4
+        run emits the byte-for-byte --json document of the sequential
+        run -- outcomes, cache statistics, exit code, everything."""
+        data_dir = self._database_dir(tmp_path)
+        sequential = subprocess.run(
+            self._cli(data_dir),
+            capture_output=True,
+            text=True,
+            env=self._env(),
+            timeout=120,
+        )
+        parallel = subprocess.run(
+            self._cli(data_dir, workers=4),
+            capture_output=True,
+            text=True,
+            env=self._env(),
+            timeout=120,
+        )
+        assert sequential.returncode == 0, sequential.stderr
+        assert parallel.returncode == 0, parallel.stderr
+        assert parallel.stdout == sequential.stdout
+
+    def test_parallel_killed_batch_resumes_to_identical_outcomes(
+        self, tmp_path
+    ):
+        """SIGKILL mid-batch with 4 workers journalling out of order;
+        the resumed outcomes are byte-identical to a clean run's."""
+        data_dir = self._database_dir(tmp_path)
+        artifacts = self._artifact_dir(tmp_path)
+        clean_journal = artifacts / "parallel-clean.jsonl"
+        killed_journal = artifacts / "parallel-killed.jsonl"
+
+        clean = subprocess.run(
+            self._cli(data_dir, clean_journal),
+            capture_output=True,
+            text=True,
+            env=self._env(),
+            timeout=120,
+        )
+        assert clean.returncode == 0, clean.stderr
+        clean_doc = json.loads(clean.stdout)
+
+        killed = subprocess.run(
+            self._cli(data_dir, killed_journal, workers=4),
+            capture_output=True,
+            text=True,
+            env=self._env(crash_after=2),
+            timeout=120,
+        )
+        assert killed.returncode == -signal.SIGKILL
+        # the durable prefix: at least the 2 records that triggered the
+        # kill (another worker may have squeezed one in before dying)
+        survived = killed_journal.read_text().splitlines()
+        assert 2 <= len(survived) < len(self.CLI_QUESTIONS)
+
+        resumed = subprocess.run(
+            self._cli(data_dir, killed_journal, resume=True, workers=4),
+            capture_output=True,
+            text=True,
+            env=self._env(),
+            timeout=120,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        resumed_doc = json.loads(resumed.stdout)
+        assert json.dumps(
+            resumed_doc["outcomes"], sort_keys=True
+        ) == json.dumps(clean_doc["outcomes"], sort_keys=True)
+
+    def test_sigint_drain_exits_5_then_resumes_cleanly(self, tmp_path):
+        """A SIGINT mid-batch triggers a graceful drain: in-flight
+        questions finish and are journalled, the rest become explicit
+        cancelled outcomes, the exit code is 5 -- and a --resume run
+        completes the batch to the clean run's exact outcomes."""
+        data_dir = self._database_dir(tmp_path)
+        artifacts = self._artifact_dir(tmp_path)
+        clean_journal = artifacts / "drain-clean.jsonl"
+        drained_journal = artifacts / "drained.jsonl"
+
+        clean = subprocess.run(
+            self._cli(data_dir, clean_journal),
+            capture_output=True,
+            text=True,
+            env=self._env(),
+            timeout=120,
+        )
+        assert clean.returncode == 0, clean.stderr
+        clean_doc = json.loads(clean.stdout)
+
+        drained = subprocess.run(
+            self._cli(data_dir, drained_journal, workers=2),
+            capture_output=True,
+            text=True,
+            env=self._env(sigint_after=1),
+            timeout=120,
+        )
+        assert drained.returncode == 5, (
+            drained.stdout,
+            drained.stderr,
+        )
+        drained_doc = json.loads(drained.stdout)
+        assert drained_doc["drained_by"] == "SIGINT"
+        outcomes = drained_doc["outcomes"]
+        assert len(outcomes) == len(self.CLI_QUESTIONS)
+        completed = [o for o in outcomes if o["ok"]]
+        cancelled = [
+            o
+            for o in outcomes
+            if o["degradation_level"] == "cancelled"
+        ]
+        assert len(completed) + len(cancelled) == len(outcomes)
+        assert completed, "the drain must finish in-flight questions"
+        # every completed question is durably journalled; cancelled
+        # ones are not (a resume recomputes them)
+        journalled = drained_journal.read_text().splitlines()
+        assert len(journalled) == len(completed)
+
+        resumed = subprocess.run(
+            self._cli(data_dir, drained_journal, resume=True, workers=2),
+            capture_output=True,
+            text=True,
+            env=self._env(),
+            timeout=120,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        resumed_doc = json.loads(resumed.stdout)
+        assert json.dumps(
+            resumed_doc["outcomes"], sort_keys=True
+        ) == json.dumps(clean_doc["outcomes"], sort_keys=True)
