@@ -31,6 +31,10 @@ from repro.workloads import get_canonical, get_database
 
 from conftest import register_artefact
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 _PREDICATE = "((Person.name: Betsy, ct: $x), $x > 8)"
 _RESULTS: dict[str, tuple[str, float]] = {}
 

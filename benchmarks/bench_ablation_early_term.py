@@ -16,6 +16,8 @@ from repro.workloads import USE_CASES, use_case_setup
 
 from conftest import register_artefact
 
+pytestmark = pytest.mark.bench
+
 _MEDIANS: dict[str, dict[str, float]] = {}
 
 #: use cases whose compatible traces die early (where Alg. 2 helps)

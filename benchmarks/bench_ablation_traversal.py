@@ -21,6 +21,8 @@ from repro.workloads import USE_CASES, use_case_setup
 
 from conftest import register_artefact
 
+pytestmark = pytest.mark.bench
+
 _MEDIANS: dict[str, dict[str, float]] = {}
 _CASES = [
     uc.name

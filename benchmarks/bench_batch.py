@@ -29,6 +29,10 @@ from repro.core import NedExplain, NedExplainConfig, canonicalize
 from repro.relational import EvaluationCache
 from repro.workloads import chain_database, chain_predicate, chain_query
 
+import pytest
+
+pytestmark = pytest.mark.bench
+
 
 def build_workload(relations: int, rows: int):
     database = chain_database(

@@ -24,6 +24,8 @@ from repro.workloads import USE_CASES, use_case_setup
 
 from conftest import register_artefact
 
+pytestmark = pytest.mark.bench
+
 _ACCUMULATED = {}
 
 

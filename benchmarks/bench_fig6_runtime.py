@@ -22,6 +22,8 @@ from repro.workloads import USE_CASES, use_case_setup
 
 from conftest import register_artefact
 
+pytestmark = pytest.mark.bench
+
 _SCALE = 2
 _MEDIANS: dict[str, dict[str, float]] = {}
 

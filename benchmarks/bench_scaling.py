@@ -24,6 +24,8 @@ from repro.workloads import (
 
 from conftest import register_artefact
 
+pytestmark = pytest.mark.bench
+
 _SCALES = (1, 2, 4, 8)
 _DEPTHS = (2, 3, 4, 5)
 _ROWS: dict[str, float] = {}

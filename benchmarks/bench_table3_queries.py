@@ -14,6 +14,8 @@ from repro.workloads import QUERIES, get_database
 
 from conftest import register_artefact
 
+pytestmark = pytest.mark.bench
+
 QUERY_NAMES = sorted(QUERIES, key=lambda q: (len(q), q))
 
 

@@ -15,6 +15,8 @@ from repro.workloads import USE_CASES, use_case_setup
 
 from conftest import register_artefact
 
+pytestmark = pytest.mark.bench
+
 
 @pytest.mark.parametrize("name", [uc.name for uc in USE_CASES])
 def test_preprocessing(benchmark, name):

@@ -36,7 +36,6 @@ from typing import Any, Mapping, Sequence
 
 from ..errors import ConfigurationError, UnsupportedQueryError
 from ..obs import Tracer, tracing, write_trace_jsonl
-from ..obs.clock import perf_counter
 
 BENCH_FORMAT = "repro.bench"
 BENCH_FORMAT_VERSION = 1
@@ -114,13 +113,22 @@ def phases_payload(results: Sequence) -> dict:
 
 
 def runtime_payload(
-    medians: Mapping[str, Mapping[str, float]], scale: int
+    medians: Mapping[str, Mapping[str, float]],
+    scale: int,
+    na_reasons: Mapping[str, str] | None = None,
 ) -> dict:
     """Fig. 6 payload from per-use-case median runtimes.
 
     *medians* maps use-case name to ``{"ned": ms, "whynot": ms}``
-    (``"whynot"`` absent when the baseline does not support the query).
+    (``"whynot"`` absent when the baseline could not run).
+    *na_reasons* maps such use cases to *why* the baseline number is
+    missing (``"unsupported"`` for aggregation queries the Why-Not
+    baseline cannot trace, ``"budget-exhausted"`` for a timed-out
+    run) -- a null ``whynot_ms`` without a recorded reason would read
+    as a measurement bug, so the serializer refuses to leave it
+    unexplained and emits an explicit ``"speedup": null`` alongside.
     """
+    na_reasons = na_reasons or {}
     use_cases: dict[str, dict] = {}
     for name, values in medians.items():
         ned = values.get("ned")
@@ -131,6 +139,11 @@ def runtime_payload(
         }
         if ned and whynot is not None:
             entry["speedup"] = whynot / ned
+        else:
+            entry["speedup"] = None
+            entry["whynot_na_reason"] = na_reasons.get(
+                name, "not-measured"
+            )
         use_cases[name] = entry
     return {
         "figure": "6",
@@ -143,11 +156,14 @@ def runtime_payload(
 # ---------------------------------------------------------------------------
 # Standalone collection (no pytest-benchmark required)
 # ---------------------------------------------------------------------------
-def collect_phases(repeats: int = 3, scale: int = 1) -> dict:
+def collect_phases(
+    repeats: int = 3, scale: int = 1, warmup: int = 1
+) -> dict:
     """Measure the Fig. 5 phase distribution over every use case.
 
-    Runs each use case *repeats* times and keeps the per-phase medians,
-    shaped by :func:`phases_payload`.
+    Runs each use case *warmup* untimed times plus *repeats* measured
+    times and keeps the per-phase medians, shaped by
+    :func:`phases_payload`.
     """
     from ..core import NedExplain
     from ..workloads import USE_CASES, use_case_setup
@@ -158,10 +174,16 @@ def collect_phases(repeats: int = 3, scale: int = 1) -> dict:
         raise ConfigurationError(
             f"repeats must be positive, got {repeats!r}"
         )
+    if warmup < 0:
+        raise ConfigurationError(
+            f"warmup must be non-negative, got {warmup!r}"
+        )
     results = []
     for uc in USE_CASES:
         use_case, database, canonical = use_case_setup(uc.name, scale)
         engine = NedExplain(canonical, database=database)
+        for _ in range(warmup):
+            engine.explain(use_case.predicate)
         samples: dict[str, list[float]] = {}
         report = None
         for _ in range(repeats):
@@ -176,49 +198,63 @@ def collect_phases(repeats: int = 3, scale: int = 1) -> dict:
         results.append(UseCaseResult(use_case=use_case, ned=report))
     payload = phases_payload(results)
     payload["repeats"] = repeats
+    payload["warmup"] = warmup
     return payload
 
 
-def collect_runtime(repeats: int = 3, scale: int = 2) -> dict:
-    """Measure the Fig. 6 runtime comparison over every use case."""
-    from ..baseline import WhyNotBaseline
-    from ..core import NedExplain
-    from ..workloads import USE_CASES, use_case_setup
+def collect_runtime(
+    repeats: int = 3, scale: int = 2, warmup: int = 1
+) -> dict:
+    """Measure the Fig. 6 runtime comparison over every use case.
+
+    Measurement goes through the perf-gate protocol
+    (:func:`repro.bench.runner.measure`: warmups, repeats, median
+    reduction) so the CI bench artifacts and the regression gate share
+    one measurement discipline.  A use case whose baseline number is
+    missing records *why* (``whynot_na_reason``) instead of silently
+    dropping the column.
+    """
+    from ..errors import BudgetExceededError
+    from ..workloads import USE_CASES
+
+    from .runner import measure, use_case_factory
 
     if repeats < 1:
         raise ConfigurationError(
             f"repeats must be positive, got {repeats!r}"
         )
     medians: dict[str, dict[str, float]] = {}
+    na_reasons: dict[str, str] = {}
     for uc in USE_CASES:
-        use_case, database, canonical = use_case_setup(uc.name, scale)
-        ned_engine = NedExplain(canonical, database=database)
-        medians[uc.name] = {
-            "ned": _median_runtime_ms(
-                ned_engine.explain, use_case.predicate, repeats
-            )
-        }
+        ned = measure(
+            use_case_factory(uc.name, "ned", scale),
+            name=f"{uc.name}.ned",
+            repeats=repeats,
+            warmup=warmup,
+        )
+        medians[uc.name] = {"ned": ned.median_ms}
         try:
-            whynot_engine = WhyNotBaseline(
-                canonical, database=database
+            whynot_factory = use_case_factory(
+                uc.name, "whynot", scale
             )
         except UnsupportedQueryError:
+            na_reasons[uc.name] = "unsupported"
             continue
-        medians[uc.name]["whynot"] = _median_runtime_ms(
-            whynot_engine.explain, use_case.predicate, repeats
-        )
-    payload = runtime_payload(medians, scale)
+        try:
+            whynot = measure(
+                whynot_factory,
+                name=f"{uc.name}.whynot",
+                repeats=repeats,
+                warmup=warmup,
+            )
+        except BudgetExceededError:
+            na_reasons[uc.name] = "budget-exhausted"
+            continue
+        medians[uc.name]["whynot"] = whynot.median_ms
+    payload = runtime_payload(medians, scale, na_reasons)
     payload["repeats"] = repeats
+    payload["warmup"] = warmup
     return payload
-
-
-def _median_runtime_ms(call, predicate: str, repeats: int) -> float:
-    samples = []
-    for _ in range(repeats):
-        started = perf_counter()
-        call(predicate)
-        samples.append((perf_counter() - started) * 1000.0)
-    return statistics.median(samples)
 
 
 def write_sample_trace(

@@ -1,0 +1,198 @@
+"""Committed per-benchmark baselines for the perf gate.
+
+A baseline file (``benchmarks/baselines/<suite>.json``) is the
+reference point :mod:`repro.bench.gate` compares every ``check`` run
+against.  Each suite file carries:
+
+* one :class:`BaselineEntry` per benchmark -- the reduced wall-clock
+  measurement (``median_ms`` + ``mad_ms`` over ``repeats``) and the
+  exact deterministic counter snapshot;
+* the ``calibration_ms`` of the host that recorded it -- the median of
+  a fixed pure-Python spin loop -- so a check on a faster or slower
+  machine can rescale the committed wall-clock numbers instead of
+  comparing apples to oranges.
+
+Reads are strict: a torn file (truncated mid-write, invalid JSON), a
+stale format version, a suite-name mismatch, or an entry missing
+required fields all raise :class:`~repro.errors.ConfigurationError`
+with the offending path -- the gate turns these into a machine-readable
+``error`` verdict rather than silently passing.  Writes go through a
+temp file + ``os.replace`` so a crashed ``update`` can never leave a
+half-written baseline behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from ..errors import ConfigurationError
+
+BASELINE_FORMAT = "repro.bench.baseline"
+BASELINE_FORMAT_VERSION = 1
+
+#: Default committed location, relative to the repository root.
+DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
+
+
+def baseline_dir() -> Path:
+    """Baseline directory: ``$REPRO_BASELINE_DIR`` or the committed
+    ``benchmarks/baselines/``."""
+    return Path(
+        os.environ.get("REPRO_BASELINE_DIR", str(DEFAULT_BASELINE_DIR))
+    )
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """The committed reference for one benchmark."""
+
+    median_ms: float
+    mad_ms: float
+    repeats: int
+    counters: Mapping[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "median_ms": self.median_ms,
+            "mad_ms": self.mad_ms,
+            "repeats": self.repeats,
+            "counters": {
+                name: int(value)
+                for name, value in sorted(self.counters.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping, *, where: str) -> "BaselineEntry":
+        missing = {"median_ms", "mad_ms", "repeats", "counters"} - set(
+            data
+        )
+        if missing:
+            raise ConfigurationError(
+                f"{where}: baseline entry is missing "
+                f"{sorted(missing)}"
+            )
+        counters = data["counters"]
+        if not isinstance(counters, Mapping):
+            raise ConfigurationError(
+                f"{where}: counters must be an object, got "
+                f"{type(counters).__name__}"
+            )
+        return cls(
+            median_ms=float(data["median_ms"]),
+            mad_ms=float(data["mad_ms"]),
+            repeats=int(data["repeats"]),
+            counters={k: int(v) for k, v in counters.items()},
+        )
+
+
+@dataclass(frozen=True)
+class SuiteBaseline:
+    """Every committed benchmark of one suite, plus host calibration."""
+
+    suite: str
+    calibration_ms: float
+    entries: Mapping[str, BaselineEntry]
+
+    def to_dict(self) -> dict:
+        return {
+            "format": BASELINE_FORMAT,
+            "version": BASELINE_FORMAT_VERSION,
+            "suite": self.suite,
+            "calibration_ms": self.calibration_ms,
+            "benchmarks": {
+                name: entry.to_dict()
+                for name, entry in sorted(self.entries.items())
+            },
+        }
+
+
+def baseline_path(suite: str, directory: Path | str | None = None) -> Path:
+    base = Path(directory) if directory is not None else baseline_dir()
+    return base / f"{suite}.json"
+
+
+def write_suite_baseline(
+    baseline: SuiteBaseline, directory: Path | str | None = None
+) -> Path:
+    """Atomically write one suite's baseline file; returns its path."""
+    path = baseline_path(baseline.suite, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(
+        json.dumps(baseline.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    os.replace(tmp, path)
+    return path
+
+
+def read_suite_baseline(
+    suite: str, directory: Path | str | None = None
+) -> SuiteBaseline:
+    """Read and validate one suite's baseline file.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the file is
+    missing, torn (not valid JSON), stale (wrong format/version), names
+    a different suite, or carries malformed entries.
+    """
+    path = baseline_path(suite, directory)
+    if not path.exists():
+        raise ConfigurationError(
+            f"no committed baseline for suite {suite!r} at {path}; "
+            "run `python -m repro.bench.gate update` and commit the "
+            "result"
+        )
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ConfigurationError(
+            f"baseline {path} is torn or corrupt: {exc}"
+        ) from exc
+    if not isinstance(document, dict) or document.get("format") != (
+        BASELINE_FORMAT
+    ):
+        raise ConfigurationError(
+            f"baseline {path} is not a {BASELINE_FORMAT} document"
+        )
+    if document.get("version") != BASELINE_FORMAT_VERSION:
+        raise ConfigurationError(
+            f"baseline {path} has stale format version "
+            f"{document.get('version')!r} (expected "
+            f"{BASELINE_FORMAT_VERSION}); regenerate it with "
+            "`python -m repro.bench.gate update`"
+        )
+    if document.get("suite") != suite:
+        raise ConfigurationError(
+            f"baseline {path} names suite {document.get('suite')!r}, "
+            f"expected {suite!r}"
+        )
+    try:
+        calibration = float(document["calibration_ms"])
+    except (KeyError, TypeError, ValueError):
+        raise ConfigurationError(
+            f"baseline {path} is missing a numeric calibration_ms"
+        ) from None
+    if calibration <= 0:
+        raise ConfigurationError(
+            f"baseline {path} calibration_ms must be positive, got "
+            f"{calibration!r}"
+        )
+    benchmarks = document.get("benchmarks")
+    if not isinstance(benchmarks, dict):
+        raise ConfigurationError(
+            f"baseline {path} is missing its benchmarks object"
+        )
+    entries = {
+        name: BaselineEntry.from_dict(
+            data, where=f"{path}:{name}"
+        )
+        for name, data in benchmarks.items()
+    }
+    return SuiteBaseline(
+        suite=suite, calibration_ms=calibration, entries=entries
+    )

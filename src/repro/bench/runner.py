@@ -8,12 +8,24 @@ Table 5 (answers), Fig. 5 (NedExplain phase distribution) and Fig. 6
 
 from __future__ import annotations
 
+import statistics
 from dataclasses import dataclass, field
+from typing import Callable, Mapping
 
 from ..baseline import WhyNotBaseline, WhyNotBaselineReport
 from ..core import NedExplain, NedExplainConfig, NedExplainReport
-from ..errors import BudgetExceededError, UnsupportedQueryError
-from ..robustness.budget import Budget
+from ..errors import (
+    BudgetExceededError,
+    ConfigurationError,
+    UnsupportedQueryError,
+)
+from ..obs import Tracer, counter_values, tracing
+from ..obs.clock import perf_counter
+from ..robustness.budget import (
+    Budget,
+    ExecutionContext,
+    execution_context,
+)
 from ..robustness.resilience import RetryPolicy
 from ..workloads.usecases import UseCase, use_case_setup
 
@@ -111,6 +123,144 @@ def run_use_case(
         whynot=whynot_report,
         whynot_na=whynot_na,
     )
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One benchmark's raw measurement: timing samples + counters.
+
+    ``samples_ms`` are the wall-clock repeats (reduce them with
+    :func:`reduce_samples`); ``counters`` is the deterministic counter
+    snapshot of one dedicated traced run -- exact work accounting
+    (``budget.rows``, ``budget.comparisons``, cache hits/misses,
+    traversal steps) that does not vary with repeats or host speed.
+    """
+
+    name: str
+    samples_ms: tuple[float, ...]
+    counters: Mapping[str, int]
+
+    @property
+    def median_ms(self) -> float:
+        return statistics.median(self.samples_ms)
+
+    @property
+    def mad_ms(self) -> float:
+        return mad(self.samples_ms)
+
+
+def mad(samples: "tuple[float, ...] | list[float]") -> float:
+    """Median absolute deviation -- the robust noise width the gate
+    uses for its bands (a single outlier repeat cannot widen it the
+    way it would a standard deviation)."""
+    if not samples:
+        raise ConfigurationError("mad() of an empty sample set")
+    center = statistics.median(samples)
+    return statistics.median(abs(s - center) for s in samples)
+
+
+def reduce_samples(
+    samples: "tuple[float, ...] | list[float]",
+) -> tuple[float, float]:
+    """``(median, MAD)`` of a sample list (the gate's reduction)."""
+    noise = mad(samples)  # validates non-emptiness
+    return statistics.median(samples), noise
+
+
+def measure(
+    factory: Callable[[], Callable[[], object]],
+    *,
+    name: str,
+    repeats: int = 5,
+    warmup: int = 1,
+) -> Measurement:
+    """Measure one benchmark with warmups, repeats, and a counter run.
+
+    *factory* builds a fresh zero-argument callable per run (a fresh
+    engine, so every sample measures the cold path and no state leaks
+    between samples).  The protocol is:
+
+    1. *warmup* untimed runs (lazy indexes, interning, import costs);
+    2. *repeats* timed runs collected as ``samples_ms``;
+    3. one final run under a private tracer and an unlimited budget
+       context, whose counter snapshot becomes ``counters``.
+
+    The counter run is separate from the timed runs on purpose: tracing
+    costs ~17% wall-clock, and the counters of a deterministic
+    benchmark do not change across repeats.
+    """
+    if repeats < 1:
+        raise ConfigurationError(
+            f"repeats must be positive, got {repeats!r}"
+        )
+    if warmup < 0:
+        raise ConfigurationError(
+            f"warmup must be non-negative, got {warmup!r}"
+        )
+    for _ in range(warmup):
+        factory()()
+    samples = []
+    for _ in range(repeats):
+        call = factory()
+        started = perf_counter()
+        call()
+        samples.append((perf_counter() - started) * 1000.0)
+    tracer = Tracer()
+    with tracing(tracer):
+        # An explicit (unlimited) budget context makes the execution
+        # layers mirror row/comparison ticks into the tracer's
+        # budget.* counters even for engines that would not install
+        # a context themselves.
+        with execution_context(ExecutionContext(Budget())):
+            factory()()
+    counters = counter_values(tracer.metrics.snapshot())
+    return Measurement(
+        name=name, samples_ms=tuple(samples), counters=counters
+    )
+
+
+def use_case_factory(
+    name: str,
+    algorithm: str = "ned",
+    scale: int = 1,
+) -> Callable[[], Callable[[], object]]:
+    """A :func:`measure` factory for one Table 4 use case.
+
+    *algorithm* is ``"ned"`` (NedExplain) or ``"whynot"`` (the Why-Not
+    baseline; raises :class:`~repro.errors.UnsupportedQueryError` for
+    aggregation queries the baseline cannot trace).
+    """
+    from ..relational import EvaluationCache
+
+    if algorithm not in ("ned", "whynot"):
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; expected 'ned' or "
+            "'whynot'"
+        )
+    use_case, database, canonical = use_case_setup(name, scale)
+    if algorithm == "whynot":
+        # fail fast (unsupported query shape) at factory-build time
+        WhyNotBaseline(canonical, database=database)
+
+    def build() -> Callable[[], object]:
+        if algorithm == "ned":
+            # a private cache per run: every sample measures the cold
+            # path and the counter run cannot be perturbed by whatever
+            # the process-global default cache happens to hold
+            engine = NedExplain(
+                canonical,
+                database=database,
+                cache=EvaluationCache(),
+            )
+        else:
+            engine = WhyNotBaseline(
+                canonical,
+                database=database,
+                cache=EvaluationCache(),
+            )
+        return lambda: engine.explain(use_case.predicate)
+
+    return build
 
 
 def run_all(

@@ -51,6 +51,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    counter_values,
     merge_snapshots,
 )
 from .trace import (
@@ -79,6 +80,7 @@ __all__ = [
     "SystemClock",
     "TRACE_FORMAT_VERSION",
     "Tracer",
+    "counter_values",
     "current_clock",
     "current_tracer",
     "merge_snapshots",

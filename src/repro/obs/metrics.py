@@ -239,6 +239,26 @@ class MetricsRegistry:
         return f"MetricsRegistry({len(self._instruments)} instruments)"
 
 
+def counter_values(
+    snapshot: Mapping[str, Mapping], prefix: str | None = None
+) -> dict[str, int]:
+    """The counter subset of a :meth:`MetricsRegistry.snapshot`.
+
+    Returns ``{name: value}`` for every counter instrument, optionally
+    restricted to names starting with *prefix*.  Counters are the
+    deterministic face of the metrics registry -- row/comparison ticks,
+    cache hits and misses, traversal steps -- so this is the projection
+    the benchmark regression gate (:mod:`repro.bench.gate`) compares
+    exactly, immune to wall-clock jitter.
+    """
+    return {
+        name: int(data["value"])
+        for name, data in snapshot.items()
+        if data.get("type") == "counter"
+        and (prefix is None or name.startswith(prefix))
+    }
+
+
 def merge_snapshots(
     snapshots: Sequence[Mapping[str, Mapping]],
 ) -> dict[str, dict]:

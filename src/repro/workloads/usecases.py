@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable
 
+from ..errors import ConfigurationError
 from ..relational.database import Database
 from ..core.canonical import CanonicalQuery, QuerySpec, canonicalize
 from .crime import CRIME_QUERIES, build_crime_db
@@ -276,8 +277,19 @@ def get_canonical(query: str, scale: int = 1) -> CanonicalQuery:
 def use_case_setup(
     name: str, scale: int = 1
 ) -> tuple[UseCase, Database, CanonicalQuery]:
-    """Everything needed to run one use case."""
-    use_case = USE_CASE_INDEX[name]
+    """Everything needed to run one use case.
+
+    Raises :class:`~repro.errors.ConfigurationError` for a name outside
+    Table 4 -- benchmark runners get a message naming the catalog
+    instead of a bare :class:`KeyError`.
+    """
+    try:
+        use_case = USE_CASE_INDEX[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown use case {name!r}; known use cases: "
+            f"{', '.join(USE_CASE_INDEX)}"
+        ) from None
     database = get_database(use_case.database, scale)
     canonical = get_canonical(use_case.query, scale)
     return use_case, database, canonical

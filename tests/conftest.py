@@ -10,6 +10,16 @@ from hypothesis import settings as hypothesis_settings
 from repro.core import SPJASpec, JoinPair, canonicalize
 from repro.relational import AggregateCall, Database, attr_cmp
 
+# Marker discipline: flag (and, under REPRO_ENFORCE_SLOW_MARKERS=1,
+# fail) tests that run slow without @pytest.mark.slow/bench.  The
+# hooks live in an importable module so test_marker_discipline.py can
+# exercise them in a scratch pytest run.
+from repro.pytest_slowguard import (  # noqa: F401
+    pytest_configure,
+    pytest_runtest_makereport,
+    pytest_terminal_summary,
+)
+
 # Hypothesis profiles: "dev" (default) explores freely; "ci" is fixed
 # (derandomized) so continuous-integration runs are reproducible.
 # Select with HYPOTHESIS_PROFILE=ci.
