@@ -678,7 +678,7 @@ def run_check(
     if append_to_trajectory:
         entry = {
             "timestamp": time.time(),
-            "git_sha": _git_sha(),
+            "git_sha": _git_sha() or "unknown",
             "label": trajectory_label
             or os.environ.get("REPRO_TRAJECTORY_LABEL"),
             "status": report.status,

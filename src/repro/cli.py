@@ -18,6 +18,12 @@ Three subcommands:
 
       python -m repro.cli evaluate
 
+* ``serve`` -- run the fault-tolerant why-not HTTP service
+  (:mod:`repro.service`; API in ``docs/service.md``)::
+
+      python -m repro.cli serve --port 8080 --workers 4 \\
+          --shed-after 8 --quota 10/s --journal-dir ./journal
+
 Every subcommand accepts the shared observability/output options:
 
 ``--json``
@@ -93,6 +99,34 @@ EXIT_SHED = 6
 #: differential test compares --json documents byte-for-byte this way.
 MANUAL_CLOCK_ENV = "REPRO_MANUAL_CLOCK"
 
+#: Default ``--json`` error envelope per nonzero exit code.  Every
+#: nonzero exit carries ``document["error"] = {type, message,
+#: exit_code}``; a raised :class:`~repro.errors.ReproError` overrides
+#: the default with its own class name and message, so scripted
+#: callers branch on one stable shape instead of scraping stderr.
+_EXIT_ENVELOPES: dict[int, tuple[str, str]] = {
+    EXIT_ERROR: ("ReproError", "fatal error"),
+    EXIT_DEGRADED: (
+        "DegradedResult",
+        "the run completed but at least one answer was degraded "
+        "(partial, failed, baseline-fallback, or cancelled)",
+    ),
+    EXIT_NO_FALLBACK: (
+        "ResilienceExhausted",
+        "resilience was requested but at least one question produced "
+        "no answer at any degradation rung",
+    ),
+    EXIT_DRAINED: (
+        "BatchDrained",
+        "a drain signal stopped the run; in-flight questions "
+        "finished, the rest were cancelled",
+    ),
+    EXIT_SHED: (
+        "LoadShed",
+        "admission control refused at least one question",
+    ),
+}
+
 
 class OutputWriter:
     """The single sink for everything the CLI emits.
@@ -115,6 +149,7 @@ class OutputWriter:
         self._stderr = stderr if stderr is not None else sys.stderr
         self.document: dict[str, Any] = {}
         self._errors: list[str] = []
+        self._error_envelope: tuple[str, str] | None = None
 
     # -- human text ----------------------------------------------------
     def line(self, text: str = "") -> None:
@@ -131,6 +166,16 @@ class OutputWriter:
         self._errors.append(text)
         print(text, file=self._stderr)
 
+    def note_error(self, error_type: str, message: str) -> None:
+        """Pin the ``--json`` error envelope (first caller wins).
+
+        Without a note, :meth:`finish` falls back to the generic
+        envelope for the exit code, so *every* nonzero exit carries
+        ``document["error"]``.
+        """
+        if self._error_envelope is None:
+            self._error_envelope = (error_type, message)
+
     # -- structured document -------------------------------------------
     def set(self, key: str, value: Any) -> None:
         if self.json_mode:
@@ -145,6 +190,19 @@ class OutputWriter:
         if not self.json_mode:
             return
         self.document["exit_code"] = exit_code
+        if exit_code != EXIT_OK:
+            error_type, message = (
+                self._error_envelope
+                if self._error_envelope is not None
+                else _EXIT_ENVELOPES.get(
+                    exit_code, ("ReproError", "fatal error")
+                )
+            )
+            self.document["error"] = {
+                "type": error_type,
+                "message": message,
+                "exit_code": exit_code,
+            }
         if self._errors:
             self.document["errors"] = list(self._errors)
         json.dump(self.document, self._stdout, indent=2, default=str)
@@ -332,6 +390,63 @@ def build_parser() -> argparse.ArgumentParser:
         "evaluate", help="run all use cases and print the answers table"
     )
     _add_common_options(evaluate)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the why-not HTTP service (see docs/service.md)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port; 0 picks a free port (default: 8080)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="cap on worker threads per batch request (default: 4)",
+    )
+    serve.add_argument(
+        "--shed-after",
+        dest="shed_after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="admit at most N concurrent work requests; beyond that, "
+        "arrivals are shed with HTTP 429 + Retry-After",
+    )
+    serve.add_argument(
+        "--quota",
+        default=None,
+        metavar="RATE/UNIT[:BURST]",
+        help="per-tenant token-bucket quota keyed on the X-Tenant "
+        "header, e.g. 10/s, 120/min, or 5/s:20",
+    )
+    serve.add_argument(
+        "--journal-dir",
+        dest="journal_dir",
+        default=None,
+        metavar="DIR",
+        help="directory for crash-safe request journaling; batches "
+        "interrupted by a crash are re-run on restart",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        dest="drain_timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long a drain waits for in-flight requests before "
+        "forcing shutdown (default: 10)",
+    )
+    _add_common_options(serve)
     return parser
 
 
@@ -364,6 +479,7 @@ def _main(argv: Sequence[str] | None) -> int:
                 code = _dispatch(args, writer)
         except ReproError as exc:
             writer.error(f"error: {exc}")
+            writer.note_error(type(exc).__name__, str(exc))
             code = EXIT_ERROR
         if tracer is not None:
             _export_observability(args, tracer, writer)
@@ -377,6 +493,8 @@ def _dispatch(args, writer: OutputWriter) -> int:
         return _run_explain(args, writer)
     if args.command == "demo":
         return _run_demo(args, writer)
+    if args.command == "serve":
+        return _run_serve(args, writer)
     return _run_evaluate(writer)
 
 
@@ -675,11 +793,10 @@ def _run_demo(args, writer: OutputWriter) -> int:
     from .workloads import USE_CASE_INDEX
 
     if args.use_case not in USE_CASE_INDEX:
-        writer.error(
+        raise ConfigurationError(
             f"unknown use case {args.use_case!r}; choose from "
             f"{', '.join(USE_CASE_INDEX)}"
         )
-        return EXIT_ERROR
     result = run_use_case(args.use_case)
     use_case = result.use_case
     writer.set("use_case", use_case.name)
@@ -697,6 +814,49 @@ def _run_demo(args, writer: OutputWriter) -> int:
     writer.line()
     writer.line(f"Why-Not baseline: {result.whynot_answer_text()}")
     return EXIT_OK
+
+
+def _run_serve(args, writer: OutputWriter) -> int:
+    """Run the why-not HTTP service until a drain signal.
+
+    Exit codes: 0 = clean drain (every admitted request finished,
+    pending queue empty), 2 = startup/configuration failure (bad
+    --quota, unbindable --port, corrupt persisted registrations),
+    5 = forced shutdown (second signal, or the drain timed out).
+    """
+    from pathlib import Path
+
+    from .service import ServiceConfig, serve
+    from .service.quota import QuotaSpec
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        shed_after=args.shed_after,
+        quota=(
+            QuotaSpec.parse(args.quota)
+            if args.quota is not None
+            else None
+        ),
+        journal_dir=(
+            Path(args.journal_dir)
+            if args.journal_dir is not None
+            else None
+        ),
+        drain_timeout_s=args.drain_timeout,
+    )
+    writer.set("host", config.host)
+    writer.set("port", config.port)
+    code = serve(config, stdout=sys.stderr if args.json else None)
+    writer.set("serve_exit", code)
+    if code == EXIT_DRAINED:
+        writer.note_error(
+            "ServiceForcedShutdown",
+            "the drain was forced (second signal or drain timeout); "
+            "in-flight requests may not have finished",
+        )
+    return code
 
 
 def _run_evaluate(writer: OutputWriter) -> int:

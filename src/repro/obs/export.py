@@ -230,6 +230,53 @@ def render_trace(
 # ---------------------------------------------------------------------------
 # Metrics snapshot
 # ---------------------------------------------------------------------------
+def _prometheus_name(name: str) -> str:
+    """Map a dotted instrument name onto the Prometheus charset."""
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "_"
+
+
+def render_prometheus(snapshot: dict[str, dict]) -> str:
+    """A :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` as
+    Prometheus text exposition (version 0.0.4).
+
+    Dots become underscores (``service.responses.429`` ->
+    ``service_responses_429``); histograms expand into the
+    ``_bucket``/``_sum``/``_count`` triple with cumulative ``le``
+    labels.  The service's ``/metrics?format=prometheus`` endpoint
+    serves exactly this text, so any standard scraper can watch a
+    long-lived why-not server without a JSON shim.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        record = snapshot[name]
+        kind = record.get("type")
+        metric = _prometheus_name(name)
+        if kind in ("counter", "gauge"):
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric} {record['value']}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            buckets = record.get("buckets", [])
+            counts = record.get("bucket_counts", [])
+            for bound, count in zip(buckets, counts):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{le="{bound}"}} {cumulative}'
+                )
+            lines.append(
+                f'{metric}_bucket{{le="+Inf"}} {record["count"]}'
+            )
+            lines.append(f"{metric}_sum {record['sum']}")
+            lines.append(f"{metric}_count {record['count']}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
 def write_metrics_json(tracer: Tracer, path: str | Path) -> Path:
     """Write the flat metrics snapshot as a JSON document."""
     target = Path(path)

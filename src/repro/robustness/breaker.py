@@ -239,6 +239,19 @@ class CircuitBreakerBoard:
             breakers = sorted(self._breakers.items())
         return {site: breaker.state for site, breaker in breakers}
 
+    def open_sites(self) -> list[str]:
+        """Sites whose breaker is currently open, sorted.
+
+        The service's ``/readyz`` endpoint flips to 503 while any site
+        is open: a load balancer should stop routing to a replica whose
+        substrate is known-broken, even though the process is alive.
+        """
+        return [
+            site
+            for site, state in self.states().items()
+            if state == OPEN
+        ]
+
     def __len__(self) -> int:
         return len(self._breakers)
 

@@ -84,6 +84,63 @@ class Budget:
             and self.max_comparisons is None
         )
 
+    @classmethod
+    def from_request(cls, spec: object) -> "Budget | None":
+        """Build a budget from a request-level mapping (the service
+        API's ``budget`` object / ``X-Deadline-Ms`` header).
+
+        Accepted keys: ``deadline_ms`` (milliseconds of wall clock),
+        ``max_rows``, ``max_comparisons``.  ``None`` or an empty
+        mapping yields ``None`` (no budget); anything else malformed --
+        a non-mapping, unknown keys, non-numeric or non-positive values
+        -- raises :class:`~repro.errors.ConfigurationError` so the
+        caller can refuse the request instead of silently running it
+        unbounded.
+        """
+        if spec is None:
+            return None
+        if not isinstance(spec, dict):
+            raise ConfigurationError(
+                f"budget must be an object, got {type(spec).__name__}"
+            )
+        unknown = set(spec) - {
+            "deadline_ms", "max_rows", "max_comparisons",
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"unknown budget key(s) {sorted(unknown)}; accepted: "
+                "deadline_ms, max_rows, max_comparisons"
+            )
+        if not spec:
+            return None
+
+        def _number(key: str) -> float | None:
+            value = spec.get(key)
+            if value is None:
+                return None
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                raise ConfigurationError(
+                    f"budget {key} must be a number, got {value!r}"
+                )
+            return float(value)
+
+        deadline_ms = _number("deadline_ms")
+        max_rows = _number("max_rows")
+        max_comparisons = _number("max_comparisons")
+        return cls(
+            deadline_s=(
+                deadline_ms / 1000.0 if deadline_ms is not None else None
+            ),
+            max_rows=int(max_rows) if max_rows is not None else None,
+            max_comparisons=(
+                int(max_comparisons)
+                if max_comparisons is not None
+                else None
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class BudgetSpent:

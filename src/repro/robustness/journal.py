@@ -73,6 +73,16 @@ def question_digest(question: str) -> str:
     return hashlib.sha256(question.encode("utf-8")).hexdigest()[:16]
 
 
+def _open_journal_file(path: Path, mode: str):
+    """Open the journal file, surfacing OS failures as library errors.
+
+    A module-level hook (rather than an inline ``open``) so tests can
+    exercise the permission-denied path even when the suite runs as
+    root, where filesystem permission bits do not bite.
+    """
+    return open(path, mode, encoding="utf-8")
+
+
 def _checksum(record: Mapping[str, Any]) -> str:
     """SHA-256 over the canonical JSON of *record* (checksum excluded)."""
     payload = {k: v for k, v in record.items() if k != "checksum"}
@@ -99,10 +109,22 @@ class BatchJournal:
         self.discarded = 0  # torn/corrupt records dropped on load
         if resume and self.path.exists():
             self._load()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._file = open(
-            self.path, "a" if resume else "w", encoding="utf-8"
-        )
+        if not self.path.parent.is_dir():
+            # refuse to invent directories for a durability artifact: a
+            # typo'd --journal path must fail loudly, not journal into
+            # a freshly created wrong place
+            raise JournalError(
+                f"journal directory {self.path.parent} does not exist "
+                f"(for journal {self.path}); create it first"
+            )
+        try:
+            self._file = _open_journal_file(
+                self.path, "a" if resume else "w"
+            )
+        except OSError as exc:
+            raise JournalError(
+                f"cannot open journal {self.path}: {exc}"
+            ) from exc
         self._appended = 0
         raw = os.environ.get(CRASH_AFTER_ENV, "")
         self._crash_after = int(raw) if raw.strip() else 0

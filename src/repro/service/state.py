@@ -1,0 +1,730 @@
+"""Application state of the why-not service.
+
+The HTTP layer (:mod:`repro.service.server`) is a thin parser; every
+decision lives here so it can be unit-tested without a socket:
+
+* :class:`ServiceConfig` -- the ``serve`` knobs (worker pool size,
+  admission limit, quota spec, journal directory);
+* :class:`AdmissionGate` -- bounded concurrent admission with load
+  shedding: past ``shed_after`` in-flight requests, new arrivals are
+  refused with :class:`~repro.errors.LoadShedError` (mapped to ``429``
+  + ``Retry-After``), never queued unboundedly;
+* :class:`ServiceState` -- the registries (databases, warm engines,
+  per-database evaluation caches), the shared
+  :class:`~repro.obs.MetricsRegistry` behind ``/metrics``, the
+  long-lived :class:`~repro.robustness.breaker.CircuitBreakerBoard`,
+  the drain token wired to SIGTERM, and the crash-safe request journal.
+
+**Crash-safe request journaling.**  Every ``/v1/explain_batch`` request
+is made durable *before* any work starts: a ``<id>.request.json``
+manifest (atomic write) plus a per-request
+:class:`~repro.robustness.journal.BatchJournal` that records each
+question outcome as it completes.  A completed batch gets an atomic
+``<id>.result.json``.  On startup, :meth:`ServiceState.recover` re-runs
+every manifest without a result, resuming its journal -- already
+completed questions replay verbatim, the rest are computed -- so a
+SIGKILLed server converges to the same outcomes an uninterrupted run
+would have produced (byte-identical under ``REPRO_MANUAL_CLOCK``).
+Database registrations are persisted the same way (atomic
+``databases.json``), so recovery does not depend on clients
+re-registering.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import uuid
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..baseline import WhyNotBaseline
+from ..core import NedExplain
+from ..errors import (
+    ConfigurationError,
+    LoadShedError,
+    ReproError,
+    ServiceError,
+    UnsupportedQueryError,
+)
+from ..obs import MetricsRegistry
+from ..obs.clock import current_clock
+from ..relational import EvaluationCache
+from ..relational.csv_io import load_database
+from ..relational.database import Database
+from ..relational.sql import sql_to_canonical
+from ..robustness import (
+    BatchJournal,
+    Budget,
+    CancellationToken,
+    CircuitBreakerBoard,
+)
+from .quota import QuotaRegistry, QuotaSpec
+
+__all__ = [
+    "AdmissionGate",
+    "DEGRADATION_SEVERITY",
+    "ServiceConfig",
+    "ServiceState",
+]
+
+#: Order of degradation levels from best to worst; a batch envelope
+#: reports the *worst* level across its outcomes.
+DEGRADATION_SEVERITY: dict[str, int] = {
+    "full": 0,
+    "partial": 1,
+    "baseline": 2,
+    "shed": 3,
+    "cancelled": 4,
+    "failed": 5,
+}
+
+#: Request ids become journal file names; keep them boring.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+#: Database names key registries and the persisted registration file.
+_NAME_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
+
+
+def _atomic_write_json(path: Path, document: Mapping[str, Any]) -> None:
+    """Write *document* durably: temp file + fsync + rename."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything ``serve`` needs to run one service process."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    #: worker threads available to one ``/v1/explain_batch`` request
+    #: (a request asking for more is capped, never refused)
+    workers: int = 4
+    #: admission limit: max concurrently admitted explain requests;
+    #: arrivals past it are shed with 429 (``None`` = unlimited)
+    shed_after: int | None = None
+    #: per-tenant token-bucket quota (``None`` = no quotas)
+    quota: QuotaSpec | None = None
+    #: directory for request manifests + batch journals (``None``
+    #: disables request journaling and crash recovery)
+    journal_dir: Path | None = None
+    #: seconds :func:`~repro.service.server.serve` waits for in-flight
+    #: requests after the accept loop stops before giving up
+    drain_timeout_s: float = 10.0
+    #: ``Retry-After`` seconds reported on shed / draining responses
+    retry_after_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"service workers must be >= 1, got {self.workers}"
+            )
+        if self.shed_after is not None and self.shed_after < 1:
+            raise ConfigurationError(
+                f"service shed_after must be >= 1, got "
+                f"{self.shed_after}"
+            )
+        if self.port < 0 or self.port > 65535:
+            raise ConfigurationError(
+                f"service port must be in [0, 65535], got {self.port}"
+            )
+        if self.drain_timeout_s <= 0:
+            raise ConfigurationError(
+                f"drain_timeout_s must be positive, got "
+                f"{self.drain_timeout_s!r}"
+            )
+        if self.journal_dir is not None:
+            object.__setattr__(
+                self, "journal_dir", Path(self.journal_dir)
+            )
+
+
+class AdmissionGate:
+    """Bounded concurrent admission with explicit load shedding.
+
+    ``limit=None`` admits everything (the gate still counts, for
+    ``/metrics`` and the drain's idle check).  Past the limit,
+    :meth:`acquire` raises :class:`~repro.errors.LoadShedError`
+    *immediately* -- the pending "queue" of a thread-per-request server
+    is its admitted-but-running request set, and refusing fast beats
+    parking client threads without bound (the same never-silently-drop
+    policy as :class:`~repro.robustness.executor.ParallelExecutor`).
+    """
+
+    def __init__(self, limit: int | None):
+        if limit is not None and limit < 1:
+            raise ConfigurationError(
+                f"admission limit must be >= 1, got {limit}"
+            )
+        self.limit = limit
+        self._active = 0
+        self._shed_total = 0
+        self._lock = threading.Lock()
+
+    def acquire(self) -> None:
+        with self._lock:
+            if self.limit is not None and self._active >= self.limit:
+                self._shed_total += 1
+                raise LoadShedError(
+                    f"request shed: {self._active} request(s) already "
+                    f"admitted (shed_after={self.limit})"
+                )
+            self._active += 1
+
+    def release(self) -> None:
+        with self._lock:
+            if self._active <= 0:
+                raise ConfigurationError(
+                    "admission gate released more than acquired"
+                )
+            self._active -= 1
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    @property
+    def shed_total(self) -> int:
+        with self._lock:
+            return self._shed_total
+
+    def __enter__(self) -> "AdmissionGate":
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionGate(limit={self.limit}, active={self.active})"
+        )
+
+
+class ServiceState:
+    """Everything the handlers share; no HTTP types in here."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        #: the ambient clock at construction, re-installed by the HTTP
+        #: layer in every handler thread: context vars do not cross
+        #: thread boundaries, so without this a server started under
+        #: REPRO_MANUAL_CLOCK would still measure handler work on the
+        #: system clock -- breaking byte-identical kill/resume runs
+        self.clock = current_clock()
+        self.metrics = MetricsRegistry()
+        self.breakers = CircuitBreakerBoard()
+        self.quotas = QuotaRegistry(config.quota)
+        self.gate = AdmissionGate(config.shed_after)
+        self.cancel = CancellationToken()
+        self.ready = threading.Event()
+        self.draining = False
+        self._drain_lock = threading.Lock()
+        self._databases: dict[str, dict[str, Any]] = {}
+        self._db_objects: dict[str, Database] = {}
+        self._caches: dict[str, EvaluationCache] = {}
+        self._engines: dict[tuple[str, str], tuple[Any, NedExplain]] = {}
+        self._registry_lock = threading.RLock()
+        #: recovery problems, surfaced on /readyz (the server starts
+        #: regardless; a stuck manifest must not block the healthy ones)
+        self._recovery_errors: list[str] = []
+        if config.journal_dir is not None:
+            config.journal_dir.mkdir(parents=True, exist_ok=True)
+            self._load_registrations()
+
+    # ------------------------------------------------------------------
+    # Database registry
+    # ------------------------------------------------------------------
+    def register_database(self, body: Mapping[str, Any]) -> dict:
+        """Register (or re-register) a database and warm it.
+
+        ``body`` carries ``name`` plus a source: ``use_case_db`` (one
+        of the paper's evaluation databases, optionally scaled) or
+        ``csv_dir`` (a directory of CSV files on the server host).
+        Optional ``warm``: a list of SQL texts whose canonical trees
+        and shared evaluations are primed right now, so the first
+        explain against them pays no cold-start cost.
+        """
+        name = body.get("name")
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise ConfigurationError(
+                f"database name must match {_NAME_RE.pattern}, got "
+                f"{name!r}"
+            )
+        source = {
+            key: body[key]
+            for key in ("use_case_db", "csv_dir", "scale")
+            if key in body
+        }
+        database = self._build_database(source)
+        with self._registry_lock:
+            self._db_objects[name] = database
+            self._caches[name] = EvaluationCache()
+            # drop engines warmed against a previous registration
+            self._engines = {
+                key: value
+                for key, value in self._engines.items()
+                if key[0] != name
+            }
+            self._databases[name] = dict(source)
+        warmed = []
+        for sql in body.get("warm", ()):  # prime engines eagerly
+            canonical, engine = self.engine_for(name, sql)
+            engine.cache.get_or_evaluate(
+                canonical.root,
+                engine.instance,
+                canonical.aliases,
+            )
+            warmed.append(sql)
+        self._persist_registrations()
+        self.metrics.counter("service.databases.registered").inc()
+        return {
+            "name": name,
+            "source": dict(source),
+            "relations": len(database.table_names()),
+            "warmed_queries": warmed,
+        }
+
+    @staticmethod
+    def _build_database(source: Mapping[str, Any]) -> Database:
+        use_case_db = source.get("use_case_db")
+        csv_dir = source.get("csv_dir")
+        if (use_case_db is None) == (csv_dir is None):
+            raise ConfigurationError(
+                "a database source needs exactly one of use_case_db / "
+                "csv_dir"
+            )
+        if use_case_db is not None:
+            from ..workloads.usecases import DATABASES
+
+            builder = DATABASES.get(use_case_db)
+            if builder is None:
+                raise ConfigurationError(
+                    f"unknown use-case database {use_case_db!r}; "
+                    f"choose from {', '.join(DATABASES)}"
+                )
+            return builder(scale=int(source.get("scale", 1)))
+        return load_database(csv_dir)
+
+    def database(self, name: str) -> Database:
+        with self._registry_lock:
+            database = self._db_objects.get(name)
+        if database is None:
+            raise ServiceError(
+                f"unknown database {name!r}; register it via "
+                "POST /v1/databases first",
+                status=404,
+            )
+        return database
+
+    def databases_document(self) -> dict:
+        with self._registry_lock:
+            return {
+                name: {
+                    "source": dict(source),
+                    "relations": len(
+                        self._db_objects[name].table_names()
+                    ),
+                }
+                for name, source in sorted(self._databases.items())
+            }
+
+    def engine_for(
+        self, database_name: str, sql: str
+    ) -> tuple[Any, NedExplain]:
+        """The warm engine for (database, query), created on first use.
+
+        Engines share their database's :class:`EvaluationCache`, so
+        repeated questions against one query hit the shared bottom-up
+        evaluation exactly as ``explain_many`` batches do.
+        """
+        if not isinstance(sql, str) or not sql.strip():
+            raise ConfigurationError("sql must be a non-empty string")
+        database = self.database(database_name)
+        key = (database_name, sql)
+        with self._registry_lock:
+            cached = self._engines.get(key)
+            if cached is not None:
+                return cached
+            canonical = sql_to_canonical(sql, database.schema)
+            engine = NedExplain(
+                canonical,
+                database=database,
+                cache=self._caches[database_name],
+            )
+            self._engines[key] = (canonical, engine)
+            self.metrics.counter("service.engines.warmed").inc()
+            return canonical, engine
+
+    # ------------------------------------------------------------------
+    # Registration persistence (journal_dir only)
+    # ------------------------------------------------------------------
+    def _registrations_path(self) -> Path | None:
+        if self.config.journal_dir is None:
+            return None
+        return self.config.journal_dir / "databases.json"
+
+    def _persist_registrations(self) -> None:
+        path = self._registrations_path()
+        if path is None:
+            return
+        with self._registry_lock:
+            snapshot = {
+                name: dict(source)
+                for name, source in self._databases.items()
+            }
+        _atomic_write_json(path, snapshot)
+
+    def _load_registrations(self) -> None:
+        path = self._registrations_path()
+        if path is None or not path.exists():
+            return
+        try:
+            stored = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ConfigurationError(
+                f"persisted registrations {path} are corrupt: {exc}; "
+                "move the file aside to start fresh"
+            ) from exc
+        for name, source in stored.items():
+            self.register_database({"name": name, **source})
+
+    # ------------------------------------------------------------------
+    # Explain (single question)
+    # ------------------------------------------------------------------
+    def explain_single(self, body: Mapping[str, Any]) -> dict:
+        """One question, one report; degraded answers are explicit.
+
+        The per-request deadline (``budget.deadline_ms`` or the
+        ``X-Deadline-Ms`` header, already folded into ``body`` by the
+        HTTP layer) becomes a :class:`~repro.robustness.Budget`: on
+        exhaustion the engine returns a *partial* report and the
+        envelope says so (``degradation_level: "partial"``), which the
+        server maps to a 206 response -- a bounded-latency degraded
+        answer, never a hang.
+        """
+        question = body.get("why_not")
+        if not isinstance(question, str) or not question.strip():
+            raise ConfigurationError(
+                "why_not must be a non-empty predicate string"
+            )
+        budget = Budget.from_request(body.get("budget"))
+        canonical, engine = self.engine_for(
+            self._required_str(body, "database"),
+            self._required_str(body, "sql"),
+        )
+        report = engine.explain(question, budget=budget)
+        document: dict[str, Any] = {
+            "question": question,
+            "degradation_level": "partial" if report.partial else "full",
+            "report": report.to_dict(),
+        }
+        if body.get("baseline"):
+            try:
+                baseline = WhyNotBaseline(
+                    canonical,
+                    database=self.database(body["database"]),
+                    cache=engine.cache,
+                )
+                document["baseline"] = baseline.explain(
+                    question
+                ).summary()
+            except UnsupportedQueryError as exc:
+                document["baseline"] = f"n.a. ({exc})"
+        return document
+
+    # ------------------------------------------------------------------
+    # Explain (batch, journaled)
+    # ------------------------------------------------------------------
+    def explain_batch(self, body: Mapping[str, Any]) -> tuple[dict, bool]:
+        """A batch request: validate, journal the manifest, run, persist.
+
+        Returns ``(document, fresh)``; ``fresh`` is False when the
+        request id already has a completed result (idempotent retry:
+        the stored result is served, nothing re-runs).
+        """
+        questions = body.get("why_not")
+        if (
+            not isinstance(questions, list)
+            or not questions
+            or not all(
+                isinstance(q, str) and q.strip() for q in questions
+            )
+        ):
+            raise ConfigurationError(
+                "why_not must be a non-empty list of predicate strings"
+            )
+        request_id = body.get("request_id") or uuid.uuid4().hex[:16]
+        if not _REQUEST_ID_RE.match(str(request_id)):
+            raise ConfigurationError(
+                f"request_id must match {_REQUEST_ID_RE.pattern}, got "
+                f"{request_id!r}"
+            )
+        manifest = dict(body)
+        manifest["request_id"] = request_id
+        # validate the engine inputs before making the request durable
+        self.engine_for(
+            self._required_str(body, "database"),
+            self._required_str(body, "sql"),
+        )
+        Budget.from_request(body.get("budget"))
+        if self.config.journal_dir is not None:
+            existing = self._stored_result(request_id)
+            if existing is not None:
+                return existing, False
+            _atomic_write_json(
+                self._manifest_path(request_id), manifest
+            )
+        document = self._run_batch(manifest)
+        return document, True
+
+    def _manifest_path(self, request_id: str) -> Path:
+        assert self.config.journal_dir is not None
+        return self.config.journal_dir / f"{request_id}.request.json"
+
+    def _result_path(self, request_id: str) -> Path:
+        assert self.config.journal_dir is not None
+        return self.config.journal_dir / f"{request_id}.result.json"
+
+    def _journal_path(self, request_id: str) -> Path:
+        assert self.config.journal_dir is not None
+        return self.config.journal_dir / f"{request_id}.journal.jsonl"
+
+    def _stored_result(self, request_id: str) -> dict | None:
+        if self.config.journal_dir is None:
+            return None
+        path = self._result_path(request_id)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text(encoding="utf-8"))
+
+    def batch_result(self, request_id: str) -> dict:
+        """The stored result of *request_id* (404 when unknown,
+        409-shaped answer while it is still in flight)."""
+        if not _REQUEST_ID_RE.match(str(request_id)):
+            raise ConfigurationError(
+                f"request_id must match {_REQUEST_ID_RE.pattern}"
+            )
+        stored = self._stored_result(request_id)
+        if stored is not None:
+            return stored
+        if (
+            self.config.journal_dir is not None
+            and self._manifest_path(request_id).exists()
+        ):
+            raise ServiceError(
+                f"batch {request_id} is journaled but not finished -- "
+                "in flight, or awaiting crash recovery",
+                status=409,
+            )
+        raise ServiceError(
+            f"unknown batch request {request_id!r}", status=404
+        )
+
+    def _run_batch(self, manifest: Mapping[str, Any]) -> dict:
+        request_id = manifest["request_id"]
+        questions = list(manifest["why_not"])
+        workers = min(
+            int(manifest.get("workers", 1)), self.config.workers
+        )
+        budget = Budget.from_request(manifest.get("budget"))
+        batch_deadline = manifest.get("batch_deadline_ms")
+        _, engine = self.engine_for(
+            manifest["database"], manifest["sql"]
+        )
+        journal = None
+        if self.config.journal_dir is not None:
+            journal = BatchJournal(
+                self._journal_path(request_id), resume=True
+            )
+        try:
+            outcomes = engine.explain_each(
+                questions,
+                budget=budget,
+                breakers=self.breakers,
+                journal=journal,
+                workers=workers,
+                shed_after=manifest.get("shed_after"),
+                batch_deadline_s=(
+                    float(batch_deadline) / 1000.0
+                    if batch_deadline is not None
+                    else None
+                ),
+                cancel=self.cancel,
+            )
+            replayed = journal.replayable_count if journal else 0
+        finally:
+            if journal is not None:
+                journal.close()
+        levels = [o.degradation_level for o in outcomes]
+        worst = max(
+            levels, key=lambda level: DEGRADATION_SEVERITY[level]
+        )
+        stats = engine.cache.stats
+        document = {
+            "request_id": request_id,
+            "questions": questions,
+            "workers": workers,
+            "degradation_level": worst,
+            "replayed": replayed,
+            "outcomes": [o.to_dict() for o in outcomes],
+            "batch": {
+                "questions": len(questions),
+                "evaluations": stats.evaluations,
+                "hits": stats.hits,
+                "misses": stats.misses,
+            },
+        }
+        if self.config.journal_dir is not None:
+            _atomic_write_json(self._result_path(request_id), document)
+        self.metrics.counter("service.batches").inc()
+        self.metrics.counter("service.questions").inc(len(questions))
+        return document
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> list[str]:
+        """Re-run every journaled batch without a result; the ids.
+
+        Runs before the service flips ready.  Each recovered batch
+        resumes its own :class:`BatchJournal` -- completed questions
+        replay verbatim, the remainder is computed -- so the stored
+        result converges to what an uninterrupted run would have
+        written.  A manifest that cannot be recovered (its database
+        source vanished, say) is left in place and reported; it never
+        blocks the server from starting.
+        """
+        if self.config.journal_dir is None:
+            return []
+        recovered: list[str] = []
+        for manifest_path in sorted(
+            self.config.journal_dir.glob("*.request.json")
+        ):
+            request_id = manifest_path.name[: -len(".request.json")]
+            if self._result_path(request_id).exists():
+                continue
+            try:
+                manifest = json.loads(
+                    manifest_path.read_text(encoding="utf-8")
+                )
+                self._run_batch(manifest)
+            except (ReproError, OSError, json.JSONDecodeError) as exc:
+                self.metrics.counter(
+                    "service.recovery.failed"
+                ).inc()
+                self._recovery_errors.append(
+                    f"{request_id}: {type(exc).__name__}: {exc}"
+                )
+                continue
+            recovered.append(request_id)
+            self.metrics.counter("service.recovery.batches").inc()
+        return recovered
+
+    # ------------------------------------------------------------------
+    # Drain
+    # ------------------------------------------------------------------
+    def begin_drain(self, reason: str) -> bool:
+        """Flip the service into draining; True iff this call did it.
+
+        Readiness goes 503 immediately; in-flight batch executors see
+        the shared :class:`CancellationToken` and finish their running
+        questions while cancelling unstarted ones (the executor's
+        cooperative-drain path); unstarted questions are *not*
+        journaled, so a later restart recomputes them.
+        """
+        with self._drain_lock:
+            if self.draining:
+                return False
+            self.draining = True
+        self.cancel.cancel(reason)
+        self.metrics.counter("service.drains").inc()
+        return True
+
+    def wait_idle(self, timeout_s: float) -> bool:
+        """Wait (real time) for admitted requests to finish."""
+        import time
+
+        deadline = time.monotonic() + timeout_s
+        while self.gate.active > 0:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health_document(self) -> dict:
+        return {
+            "status": "alive",
+            "draining": self.draining,
+            "active_requests": self.gate.active,
+        }
+
+    def ready_document(self) -> tuple[bool, dict]:
+        open_sites = self.breakers.open_sites()
+        ready = (
+            self.ready.is_set()
+            and not self.draining
+            and not open_sites
+        )
+        status = "ready"
+        if not self.ready.is_set():
+            status = "starting"
+        elif self.draining:
+            status = "draining"
+        elif open_sites:
+            status = "breaker-open"
+        document = {
+            "status": status,
+            "draining": self.draining,
+            "open_breakers": open_sites,
+        }
+        if self._recovery_errors:
+            document["recovery_errors"] = list(self._recovery_errors)
+        return ready, document
+
+    def metrics_document(self) -> dict:
+        """The /metrics payload: service counters + cache/breaker state."""
+        self.metrics.gauge("service.active_requests").set(
+            float(self.gate.active)
+        )
+        self.metrics.gauge("service.shed_total").set(
+            float(self.gate.shed_total)
+        )
+        with self._registry_lock:
+            caches = dict(self._caches)
+        for name, cache in sorted(caches.items()):
+            stats = cache.stats
+            for stat in ("hits", "misses", "evaluations", "evictions"):
+                self.metrics.gauge(
+                    f"service.cache.{name}.{stat}"
+                ).set(float(getattr(stats, stat)))
+        snapshot = self.metrics.snapshot()
+        return {
+            "metrics": snapshot,
+            "breakers": self.breakers.states(),
+            "draining": self.draining,
+        }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _required_str(body: Mapping[str, Any], key: str) -> str:
+        value = body.get(key)
+        if not isinstance(value, str) or not value.strip():
+            raise ConfigurationError(
+                f"request body needs a non-empty {key!r} string"
+            )
+        return value

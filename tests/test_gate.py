@@ -596,6 +596,45 @@ class TestGateEndToEnd:
             assert record["median_ms"] > 0
             assert record["counters"]["budget.rows"] > 0
 
+    def test_trajectory_entries_stamp_git_sha(
+        self, crime5_baselines, tmp_path, monkeypatch
+    ):
+        """Every appended entry carries the current git SHA -- and
+        outside a repository the stamp degrades to the literal
+        ``"unknown"``, never ``None``, so trajectory consumers can
+        rely on the field being a string."""
+        import subprocess
+
+        from repro.bench import gate as gate_module
+
+        trajectory = tmp_path / "BENCH_trajectory.json"
+        report = run_check(
+            baseline_directory=crime5_baselines,
+            trajectory=trajectory,
+            **GATE_KW,
+        )
+        assert report.status == "ok", report.render()
+        stamped = read_trajectory(trajectory)["entries"][-1]["git_sha"]
+        assert isinstance(stamped, str) and stamped
+        probe = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+        )
+        if probe.returncode == 0:
+            assert stamped == probe.stdout.strip()
+
+        # no repository (best-effort probe fails): literal "unknown"
+        monkeypatch.setattr(gate_module, "_git_sha", lambda: None)
+        report = run_check(
+            baseline_directory=crime5_baselines,
+            trajectory=trajectory,
+            **GATE_KW,
+        )
+        assert report.status == "ok", report.render()
+        entries = read_trajectory(trajectory)["entries"]
+        assert entries[-1]["git_sha"] == "unknown"
+
     def test_injected_counter_regression_fails_then_passes(
         self, crime5_baselines, tmp_path, monkeypatch
     ):

@@ -468,3 +468,137 @@ class TestCliResilience:
         )
         assert code == 2
         assert "--resume requires --journal" in capsys.readouterr().err
+
+
+class TestCliErrorEnvelope:
+    """Every nonzero ``--json`` exit carries one stable error envelope:
+    ``document["error"] == {"type", "message", "exit_code"}``.  Scripted
+    callers branch on this shape for *every* failure mode -- fatal (2),
+    degraded (3), resilience-exhausted (4), drained (5), shed (6) --
+    instead of scraping stderr."""
+
+    def _document(self, capsys):
+        import json
+
+        return json.loads(capsys.readouterr().out)
+
+    def _assert_envelope(self, document, exit_code, error_type):
+        assert document["exit_code"] == exit_code
+        envelope = document["error"]
+        assert set(envelope) == {"type", "message", "exit_code"}
+        assert envelope["exit_code"] == exit_code
+        assert envelope["type"] == error_type
+        assert (
+            isinstance(envelope["message"], str)
+            and envelope["message"]
+        )
+
+    def _base_args(self, tmp_path):
+        return [
+            "explain",
+            "--data", str(tmp_path / "db"),
+            "--sql",
+            "SELECT A.name FROM A WHERE A.dob > -800",
+            "--json",
+        ]
+
+    def test_exit_0_has_no_envelope(
+        self, running_example_db, tmp_path, capsys
+    ):
+        save_database(running_example_db, tmp_path / "db")
+        code = main(
+            self._base_args(tmp_path)
+            + ["--why-not", "(A.name: Homer)"]
+        )
+        assert code == 0
+        assert "error" not in self._document(capsys)
+
+    def test_exit_2_fatal_names_the_raised_error(
+        self, running_example_db, tmp_path, capsys
+    ):
+        save_database(running_example_db, tmp_path / "db")
+        code = main(
+            self._base_args(tmp_path)
+            + ["--why-not", "(A.name: Homer)", "--resume"]
+        )
+        assert code == 2
+        document = self._document(capsys)
+        self._assert_envelope(document, 2, "ConfigurationError")
+        assert "--resume requires --journal" in (
+            document["error"]["message"]
+        )
+
+    def test_exit_2_fatal_demo_unknown_use_case(self, capsys):
+        code = main(["demo", "Nope", "--json"])
+        assert code == 2
+        document = self._document(capsys)
+        self._assert_envelope(document, 2, "ConfigurationError")
+        assert "unknown use case" in document["error"]["message"]
+
+    def test_exit_3_degraded(
+        self, running_example_db, tmp_path, capsys
+    ):
+        save_database(running_example_db, tmp_path / "db")
+        code = main(
+            self._base_args(tmp_path)
+            + [
+                "--why-not", "(A.name: Homer)",
+                "--why-not", "(A.nope: broken)",
+            ]
+        )
+        assert code == 3
+        self._assert_envelope(
+            self._document(capsys), 3, "DegradedResult"
+        )
+
+    def test_exit_4_resilience_exhausted(
+        self, running_example_db, tmp_path, capsys
+    ):
+        save_database(running_example_db, tmp_path / "db")
+        code = main(
+            self._base_args(tmp_path)
+            + ["--why-not", "(A.nope: broken)", "--retries", "2"]
+        )
+        assert code == 4
+        self._assert_envelope(
+            self._document(capsys), 4, "ResilienceExhausted"
+        )
+
+    def test_exit_5_drained(
+        self, running_example_db, tmp_path, capsys, monkeypatch
+    ):
+        """A drain signal mid-batch (the deterministic SIGINT hook
+        fires after the first journaled record) exits 5 with the
+        BatchDrained envelope."""
+        from repro.robustness.journal import SIGINT_AFTER_ENV
+
+        save_database(running_example_db, tmp_path / "db")
+        monkeypatch.setenv(SIGINT_AFTER_ENV, "1")
+        code = main(
+            self._base_args(tmp_path)
+            + [
+                "--why-not", "(A.name: Homer)",
+                "--why-not", "(A.name: Vergil)",
+                "--why-not", "(A.name: Sophocles)",
+                "--journal", str(tmp_path / "batch.jsonl"),
+            ]
+        )
+        assert code == 5
+        document = self._document(capsys)
+        self._assert_envelope(document, 5, "BatchDrained")
+        assert document["drained_by"] == "SIGINT"
+
+    def test_exit_6_shed(
+        self, running_example_db, tmp_path, capsys
+    ):
+        save_database(running_example_db, tmp_path / "db")
+        code = main(
+            self._base_args(tmp_path)
+            + [
+                "--why-not", "(A.name: Homer)",
+                "--why-not", "(A.name: Vergil)",
+                "--shed-after", "1",
+            ]
+        )
+        assert code == 6
+        self._assert_envelope(self._document(capsys), 6, "LoadShed")

@@ -160,11 +160,54 @@ class TestBatchJournal:
         with pytest.raises(ConfigurationError):
             journal.record(0, "(q: 1)", _outcome_dict())
 
-    def test_parent_directories_are_created(self, tmp_path):
+    def test_missing_parent_directory_raises_journal_error(
+        self, tmp_path
+    ):
+        """A typo'd journal path fails loudly with the path in the
+        message -- a durability artifact must never be silently
+        journaled into a freshly invented directory."""
         path = tmp_path / "deep" / "nested" / "batch.jsonl"
-        with BatchJournal(path) as journal:
-            journal.record(0, "(q: 1)", _outcome_dict())
-        assert path.exists()
+        with pytest.raises(JournalError) as excinfo:
+            BatchJournal(path)
+        assert str(path.parent) in str(excinfo.value)
+        assert not path.exists()
+
+    def test_unopenable_journal_raises_journal_error(
+        self, tmp_path, monkeypatch
+    ):
+        """OS-level open failures surface as JournalError (with the
+        path), not bare OSError.  The open goes through the module
+        hook because the suite may run as root, where permission bits
+        on a chmod-0 directory do not bite."""
+        from repro.robustness import journal as journal_module
+
+        path = tmp_path / "batch.jsonl"
+
+        def _refuse(p, mode):
+            raise PermissionError(13, "Permission denied", str(p))
+
+        monkeypatch.setattr(
+            journal_module, "_open_journal_file", _refuse
+        )
+        with pytest.raises(JournalError) as excinfo:
+            BatchJournal(path)
+        assert str(path) in str(excinfo.value)
+        assert "Permission denied" in str(excinfo.value)
+
+    def test_readonly_directory_raises_journal_error(self, tmp_path):
+        """The real permission-denied path (skipped as root, where
+        chmod does not restrict access)."""
+        if os.geteuid() == 0:
+            pytest.skip("running as root: chmod cannot deny access")
+        locked = tmp_path / "locked"
+        locked.mkdir()
+        locked.chmod(0o500)
+        try:
+            with pytest.raises(JournalError) as excinfo:
+                BatchJournal(locked / "batch.jsonl")
+            assert str(locked) in str(excinfo.value)
+        finally:
+            locked.chmod(0o700)
 
     def test_out_of_order_appends_resume_by_identity(self, tmp_path):
         """Parallel workers journal in completion order; resume matches
