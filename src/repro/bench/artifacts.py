@@ -40,6 +40,17 @@ from ..obs import Tracer, tracing, write_trace_jsonl
 BENCH_FORMAT = "repro.bench"
 BENCH_FORMAT_VERSION = 1
 
+#: Evaluation engines an artifact can be measured under.
+ENGINES = ("row", "columnar")
+
+
+def _check_engine(engine: str) -> str:
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
+
 
 def bench_dir() -> Path:
     """Artifact directory: ``$REPRO_BENCH_DIR`` or the cwd."""
@@ -90,12 +101,15 @@ def read_bench_artifact(path: Path | str) -> Any:
 # ---------------------------------------------------------------------------
 # Payload shapes
 # ---------------------------------------------------------------------------
-def phases_payload(results: Sequence) -> dict:
+def phases_payload(results: Sequence, engine: str = "row") -> dict:
     """Fig. 5 payload from :class:`~repro.bench.runner.UseCaseResult`s.
 
     Per use case: absolute per-phase milliseconds and the percentage
-    distribution the figure plots.
+    distribution the figure plots.  *engine* records which evaluation
+    engine (``"row"`` or ``"columnar"``) produced the numbers, so two
+    artifacts from the two engines are never confused for each other.
     """
+    _check_engine(engine)
     use_cases: dict[str, dict] = {}
     for result in results:
         times = dict(result.ned.phase_times_ms)
@@ -109,13 +123,19 @@ def phases_payload(results: Sequence) -> dict:
                 for phase, value in times.items()
             },
         }
-    return {"figure": "5", "unit": "ms", "use_cases": use_cases}
+    return {
+        "figure": "5",
+        "unit": "ms",
+        "engine": engine,
+        "use_cases": use_cases,
+    }
 
 
 def runtime_payload(
     medians: Mapping[str, Mapping[str, float]],
     scale: int,
     na_reasons: Mapping[str, str] | None = None,
+    engine: str = "row",
 ) -> dict:
     """Fig. 6 payload from per-use-case median runtimes.
 
@@ -127,7 +147,10 @@ def runtime_payload(
     run) -- a null ``whynot_ms`` without a recorded reason would read
     as a measurement bug, so the serializer refuses to leave it
     unexplained and emits an explicit ``"speedup": null`` alongside.
+    *engine* names the evaluation engine behind the NedExplain column
+    (the baseline is always measured on the row engine).
     """
+    _check_engine(engine)
     na_reasons = na_reasons or {}
     use_cases: dict[str, dict] = {}
     for name, values in medians.items():
@@ -149,6 +172,7 @@ def runtime_payload(
         "figure": "6",
         "unit": "ms",
         "scale": scale,
+        "engine": engine,
         "use_cases": use_cases,
     }
 
@@ -157,19 +181,24 @@ def runtime_payload(
 # Standalone collection (no pytest-benchmark required)
 # ---------------------------------------------------------------------------
 def collect_phases(
-    repeats: int = 3, scale: int = 1, warmup: int = 1
+    repeats: int = 3,
+    scale: int = 1,
+    warmup: int = 1,
+    engine: str = "row",
 ) -> dict:
     """Measure the Fig. 5 phase distribution over every use case.
 
     Runs each use case *warmup* untimed times plus *repeats* measured
     times and keeps the per-phase medians, shaped by
-    :func:`phases_payload`.
+    :func:`phases_payload`.  With ``engine="columnar"`` the NedExplain
+    runs evaluate queries batch-at-a-time and the payload records it.
     """
-    from ..core import NedExplain
+    from ..core import NedExplain, NedExplainConfig
     from ..workloads import USE_CASES, use_case_setup
 
     from .runner import UseCaseResult
 
+    _check_engine(engine)
     if repeats < 1:
         raise ConfigurationError(
             f"repeats must be positive, got {repeats!r}"
@@ -178,16 +207,23 @@ def collect_phases(
         raise ConfigurationError(
             f"warmup must be non-negative, got {warmup!r}"
         )
+    config = (
+        NedExplainConfig(use_columnar=True)
+        if engine == "columnar"
+        else None
+    )
     results = []
     for uc in USE_CASES:
         use_case, database, canonical = use_case_setup(uc.name, scale)
-        engine = NedExplain(canonical, database=database)
+        ned_engine = NedExplain(
+            canonical, database=database, config=config
+        )
         for _ in range(warmup):
-            engine.explain(use_case.predicate)
+            ned_engine.explain(use_case.predicate)
         samples: dict[str, list[float]] = {}
         report = None
         for _ in range(repeats):
-            report = engine.explain(use_case.predicate)
+            report = ned_engine.explain(use_case.predicate)
             for phase, value in report.phase_times_ms.items():
                 samples.setdefault(phase, []).append(value)
         assert report is not None
@@ -196,14 +232,17 @@ def collect_phases(
             for phase, values in samples.items()
         }
         results.append(UseCaseResult(use_case=use_case, ned=report))
-    payload = phases_payload(results)
+    payload = phases_payload(results, engine=engine)
     payload["repeats"] = repeats
     payload["warmup"] = warmup
     return payload
 
 
 def collect_runtime(
-    repeats: int = 3, scale: int = 2, warmup: int = 1
+    repeats: int = 3,
+    scale: int = 2,
+    warmup: int = 1,
+    engine: str = "row",
 ) -> dict:
     """Measure the Fig. 6 runtime comparison over every use case.
 
@@ -212,13 +251,16 @@ def collect_runtime(
     reduction) so the CI bench artifacts and the regression gate share
     one measurement discipline.  A use case whose baseline number is
     missing records *why* (``whynot_na_reason``) instead of silently
-    dropping the column.
+    dropping the column.  *engine* routes the NedExplain measurements
+    through the row or columnar engine and is recorded in the payload;
+    the Why-Not baseline always runs on the row engine.
     """
     from ..errors import BudgetExceededError
     from ..workloads import USE_CASES
 
     from .runner import measure, use_case_factory
 
+    _check_engine(engine)
     if repeats < 1:
         raise ConfigurationError(
             f"repeats must be positive, got {repeats!r}"
@@ -227,7 +269,7 @@ def collect_runtime(
     na_reasons: dict[str, str] = {}
     for uc in USE_CASES:
         ned = measure(
-            use_case_factory(uc.name, "ned", scale),
+            use_case_factory(uc.name, "ned", scale, engine=engine),
             name=f"{uc.name}.ned",
             repeats=repeats,
             warmup=warmup,
@@ -251,7 +293,7 @@ def collect_runtime(
             na_reasons[uc.name] = "budget-exhausted"
             continue
         medians[uc.name]["whynot"] = whynot.median_ms
-    payload = runtime_payload(medians, scale, na_reasons)
+    payload = runtime_payload(medians, scale, na_reasons, engine=engine)
     payload["repeats"] = repeats
     payload["warmup"] = warmup
     return payload
@@ -304,17 +346,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         dest="trace_use_case",
         help="use case recorded in the sample trace",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="row",
+        help="evaluation engine behind the NedExplain measurements "
+        "(recorded in every artifact payload)",
+    )
     args = parser.parse_args(argv)
     out_dir = Path(args.out_dir) if args.out_dir else bench_dir()
 
     phases = write_bench_artifact(
-        "phases", collect_phases(repeats=args.repeats), out_dir
+        "phases",
+        collect_phases(repeats=args.repeats, engine=args.engine),
+        out_dir,
     )
     print(f"wrote {phases}")
     runtime = write_bench_artifact(
         "runtime",
         collect_runtime(
-            repeats=args.repeats, scale=args.runtime_scale
+            repeats=args.repeats,
+            scale=args.runtime_scale,
+            engine=args.engine,
         ),
         out_dir,
     )

@@ -223,12 +223,15 @@ def use_case_factory(
     name: str,
     algorithm: str = "ned",
     scale: int = 1,
+    engine: str = "row",
 ) -> Callable[[], Callable[[], object]]:
     """A :func:`measure` factory for one Table 4 use case.
 
     *algorithm* is ``"ned"`` (NedExplain) or ``"whynot"`` (the Why-Not
     baseline; raises :class:`~repro.errors.UnsupportedQueryError` for
-    aggregation queries the baseline cannot trace).
+    aggregation queries the baseline cannot trace).  *engine* routes
+    evaluation through the row engine (the default, the differential
+    oracle) or the columnar engine (``"columnar"``; NedExplain only).
     """
     from ..relational import EvaluationCache
 
@@ -237,28 +240,43 @@ def use_case_factory(
             f"unknown algorithm {algorithm!r}; expected 'ned' or "
             "'whynot'"
         )
+    if engine not in ("row", "columnar"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'row' or 'columnar'"
+        )
+    if engine == "columnar" and algorithm != "ned":
+        raise ConfigurationError(
+            "the whynot baseline has no columnar engine; use "
+            "algorithm='ned' with engine='columnar'"
+        )
     use_case, database, canonical = use_case_setup(name, scale)
     if algorithm == "whynot":
         # fail fast (unsupported query shape) at factory-build time
         WhyNotBaseline(canonical, database=database)
+    config = (
+        NedExplainConfig(use_columnar=True)
+        if engine == "columnar"
+        else None
+    )
 
     def build() -> Callable[[], object]:
         if algorithm == "ned":
             # a private cache per run: every sample measures the cold
             # path and the counter run cannot be perturbed by whatever
             # the process-global default cache happens to hold
-            engine = NedExplain(
+            runner = NedExplain(
                 canonical,
                 database=database,
                 cache=EvaluationCache(),
+                config=config,
             )
         else:
-            engine = WhyNotBaseline(
+            runner = WhyNotBaseline(
                 canonical,
                 database=database,
                 cache=EvaluationCache(),
             )
-        return lambda: engine.explain(use_case.predicate)
+        return lambda: runner.explain(use_case.predicate)
 
     return build
 

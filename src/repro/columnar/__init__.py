@@ -1,0 +1,34 @@
+"""Batch-at-a-time columnar execution engine (``use_columnar=True``).
+
+A drop-in back end for query evaluation: columnar tables (one array
+per attribute with interned-value dictionaries), bitmap selection
+vectors, and chunked operators for the full algebra, producing
+results losslessly convertible to the row engine's
+:class:`~repro.relational.evaluator.EvaluationResult`.  The row engine
+remains the differential oracle -- same pattern as
+``use_shared_evaluation=False``.  See ``docs/columnar.md``.
+"""
+
+from .engine import ColumnarResult, evaluate_columnar
+from .ops import BATCH_ROWS, condition_bitmap
+from .table import (
+    Batch,
+    Bitmap,
+    ColumnarTable,
+    Dictionary,
+    clear_table_cache,
+    columnar_table,
+)
+
+__all__ = [
+    "BATCH_ROWS",
+    "Batch",
+    "Bitmap",
+    "ColumnarResult",
+    "ColumnarTable",
+    "Dictionary",
+    "clear_table_cache",
+    "columnar_table",
+    "condition_bitmap",
+    "evaluate_columnar",
+]

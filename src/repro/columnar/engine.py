@@ -1,0 +1,258 @@
+"""The columnar evaluation engine and its lossless row conversion.
+
+:func:`evaluate_columnar` drives the batch operators of
+:mod:`repro.columnar.ops` over a query tree, mirroring the row
+engine's per-node protocol (fault points, deadline checks, operator
+counters) while producing :class:`~repro.columnar.table.Batch`\\ es
+instead of tuple lists.  The :class:`ColumnarResult` it returns stores
+one batch per node and converts **on demand** -- and exactly once --
+to a row :class:`~repro.relational.evaluator.EvaluationResult` whose
+tuples, lineage, and parent links are indistinguishable from a row
+evaluation (the differential suites assert this across every Table 4
+use case and randomized workloads).
+
+The conversion boundary is the deliberate cost split: batch execution
+never builds per-row ``Tuple`` objects, dicts, or hashes; the row view
+pays that price once per cache entry, only when a consumer (TabQ, the
+compatible finder, reports) actually needs row objects.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import EvaluationError
+from ..obs.trace import current_tracer
+from ..relational.algebra import (
+    Aggregate,
+    Difference,
+    Join,
+    Project,
+    Query,
+    RelationLeaf,
+    Select,
+    Union,
+    validate_tree,
+)
+from ..relational.evaluator import _EVAL_SERIALS, EvaluationResult
+from ..relational.instance import DatabaseInstance
+from ..relational.tuples import Tuple
+from ..robustness.budget import current_context
+from ..robustness.faults import fault_point
+from .ops import (
+    NodeObserver,
+    apply_aggregate,
+    apply_difference,
+    apply_join,
+    apply_leaf,
+    apply_project,
+    apply_select,
+    apply_union,
+)
+from .table import Batch, columnar_table
+
+
+class ColumnarResult:
+    """Per-node batches of one columnar evaluation.
+
+    Keyed by node identity with strong node references (the same
+    id-reuse safety contract as
+    :class:`~repro.relational.evaluator.EvaluationResult`).  The row
+    view is memoized: the first consumer pays the conversion, every
+    later one -- including every cache hit -- shares it.
+    """
+
+    def __init__(self, root: Query):
+        self.root = root
+        self._batches: dict[int, Batch] = {}
+        self._nodes: dict[int, Query] = {}
+        self._row_view: EvaluationResult | None = None
+        self._view_lock = threading.Lock()
+
+    def set_batch(self, node: Query, batch: Batch) -> None:
+        self._nodes[id(node)] = node
+        self._batches[id(node)] = batch
+
+    def batch(self, node: Query) -> Batch:
+        try:
+            return self._batches[id(node)]
+        except KeyError:
+            raise EvaluationError(
+                f"node {node!r} was not evaluated"
+            ) from None
+
+    @property
+    def result_batch(self) -> Batch:
+        """The root's output batch, i.e. ``Q(I)`` columnar."""
+        return self.batch(self.root)
+
+    def check_complete(self) -> None:
+        """Assert every node of the tree has a batch (cache invariant)."""
+        for node in self.root.postorder():
+            self.batch(node)
+
+    # ------------------------------------------------------------------
+    # Lossless conversion
+    # ------------------------------------------------------------------
+    def row_view(self) -> EvaluationResult:
+        """The (memoized) row-engine view of this evaluation."""
+        with self._view_lock:
+            if self._row_view is None:
+                self._row_view = self._convert()
+            return self._row_view
+
+    def _convert(self) -> EvaluationResult:
+        view = EvaluationResult(self.root)
+        outputs: dict[int, list[Tuple]] = {}
+        for node in self.root.postorder():
+            batch = self.batch(node)
+            if isinstance(node, RelationLeaf):
+                assert batch.source is not None
+                stored = list(batch.source)
+                view.set_node(node, [list(stored)], stored)
+                outputs[id(node)] = stored
+                continue
+            child_outs = [outputs[id(c)] for c in node.children]
+            out = self._convert_node(node, batch, child_outs)
+            view.set_node(node, [list(co) for co in child_outs], out)
+            outputs[id(node)] = out
+        return view
+
+    @staticmethod
+    def _convert_node(
+        node: Query, batch: Batch, child_outs: list[list[Tuple]]
+    ) -> list[Tuple]:
+        attrs = batch.attrs
+        cols = [batch.column(a) for a in attrs]
+        value_rows = list(zip(*cols)) if batch.nrows else []
+        lineage = batch.lineage
+        model = batch.parents
+        out: list[Tuple] = []
+        if model is None:
+            raise EvaluationError(
+                f"batch of {node!r} has no parent model"
+            )
+        kind = model[0]
+        if kind == "rows":
+            parents = child_outs[0]
+            for row, i in enumerate(model[1]):
+                out.append(
+                    Tuple(
+                        dict(zip(attrs, value_rows[row])),
+                        lineage=lineage[row],
+                        parents=(parents[i],),
+                    )
+                )
+        elif kind == "tagged":
+            for row, (slot, i) in enumerate(model[1]):
+                out.append(
+                    Tuple(
+                        dict(zip(attrs, value_rows[row])),
+                        lineage=lineage[row],
+                        parents=(child_outs[slot][i],),
+                    )
+                )
+        elif kind == "pairs":
+            left_out, right_out = child_outs
+            for row, (li, ri) in enumerate(model[1]):
+                out.append(
+                    Tuple(
+                        dict(zip(attrs, value_rows[row])),
+                        lineage=lineage[row],
+                        parents=(left_out[li], right_out[ri]),
+                    )
+                )
+        elif kind == "groups":
+            parents = child_outs[0]
+            for row, group in enumerate(model[1]):
+                out.append(
+                    Tuple(
+                        dict(zip(attrs, value_rows[row])),
+                        lineage=lineage[row],
+                        parents=tuple(parents[i] for i in group),
+                    )
+                )
+        else:  # pragma: no cover - defensive
+            raise EvaluationError(
+                f"unknown parent model {kind!r} for {node!r}"
+            )
+        return out
+
+    def rebind(self, new_root: Query) -> EvaluationResult:
+        """Row view re-keyed onto a structurally equal tree."""
+        view = self.row_view()
+        if view.root is new_root:
+            return view
+        return view.rebind(new_root)
+
+
+def evaluate_columnar(
+    root: Query, instance: DatabaseInstance
+) -> ColumnarResult:
+    """Evaluate *root* over *instance* batch-at-a-time.
+
+    Observable protocol parity with the row
+    :func:`~repro.relational.evaluator.evaluate`: one
+    ``operator.apply`` fault point and one deadline check per node,
+    one ``evaluator.operators`` counter increment and one
+    ``evaluator.rows_out`` observation per node, and budget row /
+    comparison *totals* identical to the per-tuple loops.  Operator
+    spans are per batch (chunk), tagged ``batch_index`` /
+    ``batch_size`` / ``eval``; ``evaluator.batches`` counts them.
+    """
+    validate_tree(root)
+    result = ColumnarResult(root)
+    context = current_context()
+    tracer = current_tracer()
+    serial = next(_EVAL_SERIALS)
+    for index, node in enumerate(root.postorder()):
+        fault_point("operator.apply")
+        if context is not None:
+            context.check_deadline()
+        obs = NodeObserver(tracer, context, node, index, serial)
+        if isinstance(node, RelationLeaf):
+            table = columnar_table(instance, node.alias)
+            batch = apply_leaf(node, table.batch, obs)
+        elif isinstance(node, Select):
+            batch = apply_select(node, result.batch(node.child), obs)
+        elif isinstance(node, Project):
+            batch = apply_project(node, result.batch(node.child), obs)
+        elif isinstance(node, Join):
+            batch = apply_join(
+                node,
+                result.batch(node.left),
+                result.batch(node.right),
+                obs,
+            )
+        elif isinstance(node, Union):
+            batch = apply_union(
+                node,
+                result.batch(node.left),
+                result.batch(node.right),
+                obs,
+            )
+        elif isinstance(node, Difference):
+            batch = apply_difference(
+                node,
+                result.batch(node.left),
+                result.batch(node.right),
+                obs,
+            )
+        elif isinstance(node, Aggregate):
+            batch = apply_aggregate(
+                node, result.batch(node.child), obs
+            )
+        else:
+            raise EvaluationError(
+                f"columnar engine cannot evaluate node {node!r}"
+            )
+        if tracer is not None:
+            tracer.metrics.counter("evaluator.operators").inc()
+            tracer.metrics.counter("evaluator.batches").inc(
+                obs.batches
+            )
+            tracer.metrics.histogram("evaluator.rows_out").observe(
+                batch.nrows
+            )
+        result.set_batch(node, batch)
+    return result

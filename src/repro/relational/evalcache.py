@@ -110,9 +110,20 @@ class EvaluationCache:
         root: Query,
         instance: DatabaseInstance,
         aliases: Mapping[str, str] | None = None,
+        engine: str = "row",
     ) -> tuple:
-        """The cache key: fingerprint of ``(Q, eta_Q)`` + data key."""
-        return (query_fingerprint(root, aliases), instance.data_key)
+        """The cache key: fingerprint of ``(Q, eta_Q)`` + data key.
+
+        Columnar entries get a distinct key suffix -- the two engines
+        produce observationally identical row views, but keeping the
+        entries apart preserves each engine's native representation
+        (and lets the differential suites hold both at once).  Row
+        keys keep their historical two-element shape.
+        """
+        base = (query_fingerprint(root, aliases), instance.data_key)
+        if engine == "row":
+            return base
+        return base + (engine,)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -122,6 +133,7 @@ class EvaluationCache:
         root: Query,
         instance: DatabaseInstance,
         aliases: Mapping[str, str] | None = None,
+        engine: str = "row",
     ) -> EvaluationResult:
         """Serve the evaluation of *root* over *instance* from cache.
 
@@ -144,29 +156,34 @@ class EvaluationCache:
         serialize behind a long evaluation; per-question why-not work
         dominates evaluation time in a batch, so the trade keeps the
         "N questions, 1 evaluation" claim exact instead of racy.)
+
+        With ``engine="columnar"`` the miss evaluates through
+        :func:`repro.columnar.evaluate_columnar` and the entry stores
+        the native :class:`~repro.columnar.engine.ColumnarResult`;
+        conversion to the returned row view happens on demand and is
+        memoized on the entry, so N questions against one cache entry
+        still pay for exactly one evaluation *and* one conversion.
         """
         with self._lock:
             fault_point("cache.lookup")
             tracer = current_tracer()
-            key = self.key_for(root, instance, aliases)
+            key = self.key_for(root, instance, aliases, engine)
             cached = self._entries.get(key)
             if cached is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
                 if tracer is not None:
                     tracer.metrics.counter("cache.hits").inc()
-                if cached.root is root:
-                    return cached
-                return cached.rebind(root)
+                return self._row_view(cached, root)
             self.stats.misses += 1
             if tracer is None:
-                result = evaluate(root, instance)
+                result = self._evaluate(engine, root, instance)
             else:
                 tracer.metrics.counter("cache.misses").inc()
                 with tracer.span(
                     "evaluate", category="cache", fingerprint=key[0][:12]
                 ):
-                    result = evaluate(root, instance)
+                    result = self._evaluate(engine, root, instance)
             self.stats.evaluations += 1
             fault_point("cache.store")
             self._entries[key] = result
@@ -177,7 +194,32 @@ class EvaluationCache:
                 self.stats.evictions += 1
                 if tracer is not None:
                     tracer.metrics.counter("cache.evictions").inc()
-            return result
+            return self._row_view(result, root)
+
+    @staticmethod
+    def _evaluate(engine: str, root: Query, instance: DatabaseInstance):
+        """Run one evaluation on the requested engine."""
+        if engine == "columnar":
+            # lazy import: repro.columnar imports this package
+            from ..columnar import evaluate_columnar
+
+            return evaluate_columnar(root, instance)
+        if engine != "row":
+            raise ConfigurationError(
+                f"unknown evaluation engine {engine!r}; "
+                "expected 'row' or 'columnar'"
+            )
+        return evaluate(root, instance)
+
+    @staticmethod
+    def _row_view(entry, root: Query) -> EvaluationResult:
+        """The row view of an entry, re-keyed onto the caller's tree."""
+        if isinstance(entry, EvaluationResult):
+            if entry.root is root:
+                return entry
+            return entry.rebind(root)
+        # ColumnarResult: memoized lossless conversion + rebind
+        return entry.rebind(root)
 
     def peek(self, key: tuple) -> EvaluationResult | None:
         """The entry under *key*, without touching LRU order or stats."""
@@ -203,6 +245,9 @@ class EvaluationCache:
             assert len(self._entries) <= self.maxsize
             entries = list(self._entries.values())
         for entry in entries:
+            if hasattr(entry, "check_complete"):
+                entry.check_complete()  # columnar: one batch per node
+                continue
             for node in entry.root.postorder():
                 entry.output(node)  # raises EvaluationError if missing
 

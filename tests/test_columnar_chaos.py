@@ -1,0 +1,130 @@
+"""Seeded chaos sweep with the columnar engine behind the evaluator.
+
+Re-runs the fault-injection contract of ``test_chaos.py`` with
+``use_columnar=True`` over 40 deterministic plans: faults fired inside
+batch operators, cache interactions, and compatible-set computation
+must degrade exactly like the row engine's -- contained ReproErrors or
+partial reports, never wrong answers.  The fault-free oracle here is
+the **row** engine, so isolation doubles as a cross-engine
+differential: any outcome that completes un-degraded under faults must
+match the row answer byte for byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NedExplain, NedExplainConfig, canonicalize
+from repro.errors import ReproError
+from repro.relational import EvaluationCache
+from repro.robustness import FaultPlan, inject
+from repro.workloads.generator import chain_database, chain_query
+
+SEEDS = range(40)
+QUESTIONS = ["(R0.label: needle)", "(R0.label: r0v1)", "(R2.label: r2v3)"]
+COLUMNAR = NedExplainConfig(use_columnar=True)
+
+
+def _setup():
+    db = chain_database(3, rows_per_relation=12)
+    canonical = canonicalize(chain_query(3), db.schema)
+    return db, canonical
+
+
+def _fingerprint(report):
+    return (
+        tuple(
+            (
+                repr(a.ctuple),
+                a.detailed_pairs,
+                a.condensed_labels,
+                a.secondary_labels,
+                a.no_compatible_data,
+                a.answer_not_missing,
+            )
+            for a in report.answers
+        ),
+        report.summary(),
+    )
+
+
+def _outcome_shape(outcome):
+    if outcome.ok:
+        return ("ok", outcome.partial, _fingerprint(outcome.report))
+    return ("failed", outcome.failure.error_class, outcome.failure.phase)
+
+
+def _run_columnar(db, canonical, plan):
+    cache = EvaluationCache()
+    engine = NedExplain(
+        canonical, database=db, cache=cache, config=COLUMNAR
+    )
+    if plan is None:
+        return engine.explain_each(QUESTIONS), cache
+    with inject(plan):
+        return engine.explain_each(QUESTIONS), cache
+
+
+_DB, _CANONICAL = _setup()
+# The fault-free oracle comes from the ROW engine: isolation checks
+# below are therefore also cross-engine differentials.
+_ROW_ORACLE = NedExplain(_CANONICAL, database=_DB).explain_each(QUESTIONS)
+_ORACLE_PRINTS = [_fingerprint(o.report) for o in _ROW_ORACLE]
+_DATA_KEY = _DB.data_key
+
+
+def test_fault_free_columnar_matches_row_oracle():
+    outcomes, cache = _run_columnar(_DB, _CANONICAL, None)
+    assert [_fingerprint(o.report) for o in outcomes] == _ORACLE_PRINTS
+    cache.check_invariants()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_columnar_seeded_fault_contract(seed):
+    plan = FaultPlan.random(seed, faults=1 + seed % 3)
+    outcomes, cache = _run_columnar(_DB, _CANONICAL, plan)
+
+    # totality
+    assert len(outcomes) == len(QUESTIONS)
+
+    for index, outcome in enumerate(outcomes):
+        if outcome.ok:
+            # isolation: an un-degraded columnar outcome must equal
+            # the fault-free ROW answer
+            if not outcome.partial:
+                assert _fingerprint(outcome.report) == _ORACLE_PRINTS[
+                    index
+                ], f"seed {seed}: question {index} diverged"
+            else:
+                assert outcome.report.degraded_reason
+        else:
+            # containment
+            assert isinstance(outcome.error, ReproError)
+            assert outcome.failure is not None
+            assert outcome.failure.error_class
+            assert outcome.failure.message
+
+    # invariants
+    cache.check_invariants()
+    assert _DB.data_key == _DATA_KEY, "a fault mutated the database"
+
+
+@pytest.mark.parametrize("seed", [2, 19, 33])
+def test_columnar_same_seed_is_deterministic(seed):
+    first_plan = FaultPlan.random(seed, faults=2)
+    second_plan = FaultPlan.random(seed, faults=2)
+    first, _ = _run_columnar(_DB, _CANONICAL, first_plan)
+    second, _ = _run_columnar(_DB, _CANONICAL, second_plan)
+    assert [_outcome_shape(o) for o in first] == [
+        _outcome_shape(o) for o in second
+    ]
+    assert first_plan.fired == second_plan.fired
+
+
+def test_columnar_plans_actually_fire():
+    fired = 0
+    for seed in SEEDS:
+        plan = FaultPlan.random(seed, faults=1 + seed % 3)
+        _run_columnar(_DB, _CANONICAL, plan)
+        fired += len(plan.fired)
+    assert fired >= len(list(SEEDS)) // 3

@@ -1,0 +1,84 @@
+"""Acceptance checks for the ``columnar`` perf-gate suite.
+
+The committed baselines in ``benchmarks/baselines/columnar.json`` are
+the PR's performance claim: join-heavy evaluation (Gov5, the
+scaling-join workload) at least **10x** faster on the columnar engine
+than on the row engine, with byte-identical work accounting.  These
+tests read the committed file -- they re-measure nothing, so they are
+immune to runner noise -- and verify the suite stays registered and
+buildable so ``gate check --suite columnar`` keeps guarding the ratio.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.baselines import read_suite_baseline
+from repro.bench.gate import SUITES
+
+BASELINE_DIR = Path(__file__).resolve().parent.parent / (
+    "benchmarks/baselines"
+)
+
+#: benchmark-name stems measured on both engines, and the speedup the
+#: tentpole promises for them
+PAIRED_CASES = ("gov5.eval", "scaling_join.eval")
+REQUIRED_SPEEDUP = 10.0
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return read_suite_baseline("columnar", BASELINE_DIR)
+
+
+def test_committed_baselines_show_10x_on_joins(baseline):
+    for case in PAIRED_CASES:
+        row = baseline.entries[f"{case}.row"]
+        columnar = baseline.entries[f"{case}.columnar"]
+        speedup = row.median_ms / columnar.median_ms
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"{case}: committed columnar speedup is {speedup:.1f}x, "
+            f"below the required {REQUIRED_SPEEDUP:.0f}x"
+        )
+
+
+def test_committed_work_accounting_is_engine_identical(baseline):
+    """Speed must come from representation, not from skipped work: the
+    committed budget/operator counters agree exactly across engines,
+    and only the columnar side counts batches."""
+    for case in PAIRED_CASES:
+        row = dict(baseline.entries[f"{case}.row"].counters)
+        columnar = dict(baseline.entries[f"{case}.columnar"].counters)
+        assert "evaluator.batches" not in row
+        batches = columnar.pop("evaluator.batches")
+        assert batches >= columnar["evaluator.operators"]
+        assert columnar == row, f"{case}: counters diverged"
+
+
+def test_committed_nedexplain_columnar_entry_present(baseline):
+    """The end-to-end algorithm is gated too, not just raw evaluation."""
+    entry = baseline.entries["gov5.ned.columnar"]
+    assert entry.counters["cache.misses"] == 1
+    assert entry.counters["evaluator.batches"] >= 1
+
+
+def test_columnar_suite_registered_and_buildable():
+    assert "columnar" in SUITES
+    specs = SUITES["columnar"]()
+    names = {spec.name for spec in specs}
+    expected = {
+        f"{case}.{engine}"
+        for case in PAIRED_CASES
+        for engine in ("row", "columnar")
+    } | {"gov5.ned.columnar"}
+    assert expected <= names
+    assert all(spec.suite == "columnar" for spec in specs)
+
+
+def test_committed_file_covers_every_spec(baseline):
+    """`gate check --suite columnar` compares spec-by-spec: a spec
+    missing from the committed file would silently go ungated."""
+    names = {spec.name for spec in SUITES["columnar"]()}
+    assert names == set(baseline.entries)

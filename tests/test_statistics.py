@@ -4,9 +4,11 @@ import pytest
 
 from repro.errors import UnknownRelationError
 from repro.core import JoinPair, SPJASpec, canonicalize
+from repro.obs import Tracer, tracing
 from repro.relational import Database, attr_cmp
 from repro.relational.statistics import (
     CardinalityEstimator,
+    actuals_from_trace,
     collect_statistics,
     explain_plan,
 )
@@ -160,3 +162,77 @@ class TestCardinalityEstimator:
             estimated = estimator.estimate(node)
             if actual >= 10:
                 assert estimated == pytest.approx(actual, rel=9.0)
+
+
+class TestActualsFromTrace:
+    """Per-node actuals recovered from operator spans.
+
+    Regression: the columnar engine emits one span per batch (chunk),
+    so a node's actual cardinality is the *sum* of its spans within
+    one evaluation -- the historical last-span-wins rule undercounted
+    every multi-chunk node by keeping only the final chunk.
+    """
+
+    def _wide_db(self, rows=1100, name="wide"):
+        db = Database(name)
+        db.create_table("T", ["id", "v"], key="id")
+        for i in range(rows):
+            db.insert("T", id=i, v=i % 7)
+        return db
+
+    def _spec(self):
+        return SPJASpec(
+            aliases={"T": "T"},
+            selections=[attr_cmp("T.v", ">", 2)],
+            projection=("T.id",),
+        )
+
+    def test_multi_chunk_spans_are_summed(self):
+        """1100 rows > one batch: every node records several spans,
+        and the summed actuals equal the true output cardinalities."""
+        db = self._wide_db()
+        canonical = canonicalize(self._spec(), db.schema)
+        tracer = Tracer()
+        with tracing(tracer):
+            result = evaluate_query(
+                canonical.root, db.instance(), use_columnar=True
+            )
+        nodes = list(canonical.root.postorder())
+        spans = [
+            s
+            for s in tracer.by_category("operator")
+            if "rows_out" in s.tags
+        ]
+        assert len(spans) > len(nodes), "the scenario must chunk"
+        actuals = actuals_from_trace(tracer, canonical.root)
+        for node in nodes:
+            assert actuals[id(node)] == len(result.output(node))
+
+    def test_last_evaluation_wins_across_evaluations(self):
+        """Two columnar evaluations of the same tree in one trace
+        (different instances): the recovered actuals are the *second*
+        evaluation's sums, not a mix of both."""
+        small = self._wide_db(rows=40, name="small")
+        big = self._wide_db(rows=1100, name="big")
+        canonical = canonicalize(self._spec(), small.schema)
+        tracer = Tracer()
+        with tracing(tracer):
+            evaluate_query(
+                canonical.root, small.instance(), use_columnar=True
+            )
+            second = evaluate_query(
+                canonical.root, big.instance(), use_columnar=True
+            )
+        actuals = actuals_from_trace(tracer, canonical.root)
+        for node in canonical.root.postorder():
+            assert actuals[id(node)] == len(second.output(node))
+
+    def test_row_engine_spans_still_resolve(self):
+        db = self._wide_db(rows=60, name="row-spans")
+        canonical = canonicalize(self._spec(), db.schema)
+        tracer = Tracer()
+        with tracing(tracer):
+            result = evaluate_query(canonical.root, db.instance())
+        actuals = actuals_from_trace(tracer, canonical.root)
+        for node in canonical.root.postorder():
+            assert actuals[id(node)] == len(result.output(node))
