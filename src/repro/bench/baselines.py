@@ -16,9 +16,11 @@ Reads are strict: a torn file (truncated mid-write, invalid JSON), a
 stale format version, a suite-name mismatch, or an entry missing
 required fields all raise :class:`~repro.errors.ConfigurationError`
 with the offending path -- the gate turns these into a machine-readable
-``error`` verdict rather than silently passing.  Writes go through a
-temp file + ``os.replace`` so a crashed ``update`` can never leave a
-half-written baseline behind.
+``error`` verdict rather than silently passing.  Writes go through
+:func:`~repro.storage.backend.atomic_write_json` (temp file + fsync +
+rename + parent-directory fsync) so a crashed ``update`` can never
+leave a half-written -- or, after a power cut, a silently reverted --
+baseline behind.
 """
 
 from __future__ import annotations
@@ -30,6 +32,7 @@ from pathlib import Path
 from typing import Mapping
 
 from ..errors import ConfigurationError
+from ..storage.backend import atomic_write_json
 
 BASELINE_FORMAT = "repro.bench.baseline"
 BASELINE_FORMAT_VERSION = 1
@@ -122,12 +125,7 @@ def write_suite_baseline(
     """Atomically write one suite's baseline file; returns its path."""
     path = baseline_path(baseline.suite, directory)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(".json.tmp")
-    tmp.write_text(
-        json.dumps(baseline.to_dict(), indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
-    os.replace(tmp, path)
+    atomic_write_json(path, baseline.to_dict())
     return path
 
 

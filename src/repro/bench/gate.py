@@ -40,6 +40,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from ..errors import ConfigurationError
 from ..obs.clock import perf_counter
+from ..storage.backend import atomic_write_json
 from .artifacts import bench_dir
 from .baselines import (
     BaselineEntry,
@@ -541,12 +542,7 @@ def append_trajectory_entry(path: Path | str, entry: dict) -> None:
     document = read_trajectory(path)
     document["entries"].append(entry)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(
-        json.dumps(document, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
-    os.replace(tmp, path)
+    atomic_write_json(path, document)
 
 
 def _git_sha() -> str | None:

@@ -450,6 +450,34 @@ def build_parser() -> argparse.ArgumentParser:
         "interrupted by a crash are re-run on restart",
     )
     serve.add_argument(
+        "--storage",
+        choices=("auto", "local", "memory", "none"),
+        default="auto",
+        help="storage backend: auto (local when --journal-dir is "
+        "set), local (durable directory), memory (full journaling "
+        "code path, nothing survives the process), none (default: "
+        "auto)",
+    )
+    serve.add_argument(
+        "--request-timeout",
+        dest="request_timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-connection socket timeout; a stalled client gets "
+        "HTTP 408 and its connection closed; 0 disables "
+        "(default: 30)",
+    )
+    serve.add_argument(
+        "--quota-file",
+        dest="quota_file",
+        default=None,
+        metavar="FILE",
+        help="file holding the quota spec (same RATE/UNIT[:BURST] "
+        "grammar; empty file = quotas off), re-read on SIGHUP or "
+        "POST /v1/admin/reload",
+    )
+    serve.add_argument(
         "--drain-timeout",
         dest="drain_timeout",
         type=float,
@@ -870,6 +898,15 @@ def _run_serve(args, writer: OutputWriter) -> int:
         journal_dir=(
             Path(args.journal_dir)
             if args.journal_dir is not None
+            else None
+        ),
+        storage=args.storage,
+        request_timeout_s=(
+            args.request_timeout if args.request_timeout > 0 else None
+        ),
+        quota_file=(
+            Path(args.quota_file)
+            if args.quota_file is not None
             else None
         ),
         drain_timeout_s=args.drain_timeout,

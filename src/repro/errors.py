@@ -185,6 +185,28 @@ class JournalError(ReproError):
     """
 
 
+class StorageError(ReproError):
+    """A storage backend operation failed.
+
+    Raised by :mod:`repro.storage` for disk-level failures (short
+    writes, ``ENOSPC``, ``EIO``, torn renames) and for corrupt
+    artifacts the recovery protocol refuses to trust.  ``path`` names
+    the artifact involved and ``errno`` carries the OS error number
+    when the failure came from the operating system (or from the
+    fault-injection shim imitating it).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        path: str | None = None,
+        errno: int | None = None,
+    ):
+        super().__init__(message)
+        self.path = path
+        self.errno = errno
+
+
 class QuotaExceededError(ReproError):
     """A tenant exhausted its request quota.
 

@@ -55,9 +55,11 @@ from .budget import (
 )
 from .executor import CancellationToken, ParallelExecutor
 from .faults import (
+    ALL_FAULT_SITES,
     FAULT_KINDS,
     FAULT_SCOPES,
     FAULT_SITES,
+    IO_FAULT_SITES,
     FaultPlan,
     FaultSpec,
     active_plan,
@@ -89,9 +91,11 @@ __all__ = [
     "DEGRADATION_LEVELS",
     "DegradationLadder",
     "ExecutionContext",
+    "ALL_FAULT_SITES",
     "FAULT_KINDS",
     "FAULT_SCOPES",
     "FAULT_SITES",
+    "IO_FAULT_SITES",
     "FailureInfo",
     "FaultPlan",
     "FaultSpec",

@@ -53,6 +53,27 @@ FAULT_SITES: tuple[str, ...] = (
     "compatible.find",
 )
 
+#: Disk-fault sites wired through the storage I/O shim
+#: (:mod:`repro.storage.io`).  Kept out of :data:`FAULT_SITES` so the
+#: engine chaos seeds (``FaultPlan.random`` with the default sites)
+#: keep firing exactly where they always did; disk-fault chaos opts in
+#: with ``sites=IO_FAULT_SITES``.  Unlike the engine sites, a firing
+#: spec here does not merely raise: the shim *imitates the disk* --
+#: ``io.write_short`` and ``io.enospc`` land a partial write before
+#: failing, ``io.torn_rename`` leaves the temp file stranded, and
+#: ``io.fsync_lost`` silently skips the fsync (a lying disk), which
+#: only the crash-state harness can observe.
+IO_FAULT_SITES: tuple[str, ...] = (
+    "io.write_short",
+    "io.torn_rename",
+    "io.enospc",
+    "io.eio",
+    "io.fsync_lost",
+)
+
+#: Every instrumented site, engine and storage alike.
+ALL_FAULT_SITES: tuple[str, ...] = FAULT_SITES + IO_FAULT_SITES
+
 #: The two injectable failure kinds.
 FAULT_KINDS: tuple[str, ...] = ("error", "budget")
 

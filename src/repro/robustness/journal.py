@@ -52,7 +52,7 @@ import threading
 from pathlib import Path
 from typing import Any, Mapping
 
-from ..errors import ConfigurationError, JournalError
+from ..errors import ConfigurationError, JournalError, StorageError
 
 __all__ = ["BatchJournal", "question_digest"]
 
@@ -99,17 +99,39 @@ class BatchJournal:
     journal describes exactly one run.  ``resume=True`` loads the valid
     record prefix of an existing journal and appends new records after
     it; :meth:`completed` then serves the replayed outcomes.
+
+    All file access flows through a :class:`~repro.storage.io.
+    StorageIO` shim (*io*).  The default is the real filesystem with
+    the disk-fault sites armed; a :class:`~repro.storage.backend.
+    StorageBackend` passes its own shim so the journal shares the
+    backend's fault plan -- and the crash-state harness passes a
+    recording simulator.  The on-disk format is unchanged: journals
+    written before the shim existed load and resume identically.
     """
 
-    def __init__(self, path: str | Path, resume: bool = False):
+    def __init__(
+        self,
+        path: str | Path,
+        resume: bool = False,
+        io=None,
+    ):
+        if io is None:
+            # resolve the module-level open hook *per call* so the
+            # permission-path tests can monkeypatch it
+            from ..storage.io import LocalIO
+
+            io = LocalIO(
+                open_hook=lambda p, m: _open_journal_file(p, m)
+            )
+        self._io = io
         self.path = Path(path)
         self.resume = resume
         self._lock = threading.RLock()
         self._records: dict[int, dict] = {}
         self.discarded = 0  # torn/corrupt records dropped on load
-        if resume and self.path.exists():
+        if resume and io.exists(self.path):
             self._load()
-        if not self.path.parent.is_dir():
+        if not io.is_dir(self.path.parent):
             # refuse to invent directories for a durability artifact: a
             # typo'd --journal path must fail loudly, not journal into
             # a freshly created wrong place
@@ -118,10 +140,8 @@ class BatchJournal:
                 f"(for journal {self.path}); create it first"
             )
         try:
-            self._file = _open_journal_file(
-                self.path, "a" if resume else "w"
-            )
-        except OSError as exc:
+            self._file = io.open(self.path, "a" if resume else "w")
+        except (OSError, StorageError) as exc:
             raise JournalError(
                 f"cannot open journal {self.path}: {exc}"
             ) from exc
@@ -136,9 +156,13 @@ class BatchJournal:
     # Load (resume)
     # ------------------------------------------------------------------
     def _load(self) -> None:
-        with open(self.path, "r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-        for line in lines:
+        try:
+            text = self._io.read_text(self.path)
+        except (OSError, StorageError) as exc:
+            raise JournalError(
+                f"cannot read journal {self.path}: {exc}"
+            ) from exc
+        for line in text.splitlines():
             line = line.strip()
             if not line:
                 continue
@@ -208,7 +232,7 @@ class BatchJournal:
         concurrent appends interleave as whole lines, never torn ones.
         """
         with self._lock:
-            if self._file.closed:
+            if self._io.closed(self._file):
                 raise ConfigurationError(
                     f"journal {self.path} is closed; no further "
                     "records can be appended"
@@ -221,11 +245,21 @@ class BatchJournal:
                 "outcome": dict(outcome),
             }
             entry["checksum"] = _checksum(entry)
-            self._file.write(
-                json.dumps(entry, sort_keys=True, default=str) + "\n"
-            )
-            self._file.flush()
-            os.fsync(self._file.fileno())
+            try:
+                self._io.write(
+                    self._file,
+                    json.dumps(entry, sort_keys=True, default=str)
+                    + "\n",
+                )
+                self._io.flush(self._file)
+                self._io.fsync(self._file)
+            except (OSError, StorageError) as exc:
+                # a failed append (ENOSPC, EIO, short write) may leave
+                # torn bytes at the tail; they are exactly what the
+                # torn-tail discard drops on the next resume
+                raise JournalError(
+                    f"journal append to {self.path} failed: {exc}"
+                ) from exc
             self._records[index] = entry
             self._appended += 1
             crash = (
@@ -257,8 +291,8 @@ class BatchJournal:
 
     def close(self) -> None:
         with self._lock:
-            if not self._file.closed:
-                self._file.close()
+            if not self._io.closed(self._file):
+                self._io.close(self._file)
 
     def __enter__(self) -> "BatchJournal":
         return self

@@ -156,6 +156,20 @@ class QuotaRegistry:
                 self._buckets[tenant] = existing
             return existing
 
+    def reconfigure(self, spec: QuotaSpec | None) -> None:
+        """Swap in *spec* for every tenant, atomically.
+
+        Hot reload (SIGHUP / ``POST /v1/admin/reload``) replaces the
+        spec and drops the existing buckets, so every tenant starts a
+        fresh burst under the new policy; in-flight :meth:`check`
+        calls finish against the old buckets, which is fine -- a
+        reload is a policy change, not a fence.  ``spec=None`` turns
+        quotas off.
+        """
+        with self._lock:
+            self.spec = spec
+            self._buckets = {}
+
     def check(self, tenant: str) -> None:
         """Admit one request for *tenant* or raise
         :class:`~repro.errors.QuotaExceededError` carrying the retry

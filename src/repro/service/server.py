@@ -31,9 +31,16 @@ Routes::
     POST /v1/databases         register + warm a database
     POST /v1/explain           one question -> one report
     POST /v1/explain_batch     N questions through ParallelExecutor,
-                               journaled crash-safe when --journal-dir
-                               is set
+                               journaled crash-safe when a storage
+                               backend is configured
     GET  /v1/batches/<id>      stored result of a journaled batch
+    POST /v1/admin/reload      re-read --quota-file (also on SIGHUP);
+                               a malformed spec keeps the old one
+
+Connections carry a socket timeout (``--request-timeout``): a client
+that stalls mid-request gets a clean 408 envelope and its connection
+closed instead of parking a worker thread forever, and idle keep-alive
+connections are reaped by the same clock.
 
 Every error is one JSON envelope -- ``{"error": {"type", "message",
 "status"}}`` -- mirroring the CLI's ``--json`` error contract.
@@ -129,6 +136,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def state(self) -> ServiceState:
         return self.server.state  # type: ignore[attr-defined]
 
+    def setup(self) -> None:
+        # per-connection socket timeout: BaseHTTPRequestHandler applies
+        # self.timeout to the connection in setup(), which both reaps
+        # idle keep-alive connections and bounds how long a stalled
+        # sender can hold a handler thread (see _fail_from's 408 path)
+        self.timeout = self.state.config.request_timeout_s
+        super().setup()
+
     def log_message(self, format: str, *args: Any) -> None:
         # access logging goes to /metrics, not stderr noise
         pass
@@ -189,6 +204,20 @@ class ServiceHandler(BaseHTTPRequestHandler):
         )
 
     def _fail_from(self, exc: Exception) -> None:
+        if isinstance(exc, TimeoutError):
+            # the client stalled mid-request past the socket timeout:
+            # answer 408 (the write side of the socket still works)
+            # and drop the connection -- its unread body makes it
+            # unusable for keep-alive
+            self.close_connection = True
+            self.state.metrics.counter("service.timeouts").inc()
+            self._fail(
+                408,
+                "RequestTimeout",
+                "client stalled while sending the request (socket "
+                f"timeout {self.state.config.request_timeout_s}s)",
+            )
+            return
         if isinstance(exc, ServiceError) and exc.status is not None:
             self._fail(exc.status, type(exc).__name__, str(exc))
             return
@@ -329,6 +358,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
             elif path == "/v1/explain_batch":
                 self._route = "explain_batch"
                 self._handle_work(batch=True)
+            elif path == "/v1/admin/reload":
+                # no body needed: the reload source of truth is the
+                # --quota-file on the server host, not the request
+                self._route = "admin_reload"
+                document = self.state.reload_config()
+                self._respond(
+                    200 if document.get("reloaded") else 400, document
+                )
             else:
                 self._fail(
                     404, "ServiceError", f"no such route: POST {path}"
@@ -408,7 +445,7 @@ def serve(
     print(
         f"service ready on {host}:{port} "
         f"(workers={config.workers}, shed_after={config.shed_after}, "
-        f"quota={config.quota})",
+        f"quota={config.quota}, storage={config.resolved_storage})",
         file=out,
         flush=True,
     )
@@ -429,6 +466,10 @@ def serve(
         # shutdown() must not run on the serve_forever thread
         threading.Thread(target=httpd.shutdown, daemon=True).start()
 
+    def _reload_handler(signum, frame) -> None:
+        document = state.reload_config()
+        print(f"config reload: {document}", file=out, flush=True)
+
     previous: dict[int, Any] = {}
     if (
         install_signal_handlers
@@ -436,6 +477,10 @@ def serve(
     ):
         for signum in (signal.SIGTERM, signal.SIGINT):
             previous[signum] = signal.signal(signum, _signal_handler)
+        if hasattr(signal, "SIGHUP"):
+            previous[signal.SIGHUP] = signal.signal(
+                signal.SIGHUP, _reload_handler
+            )
     try:
         if on_started is not None:
             on_started(httpd)

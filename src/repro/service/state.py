@@ -33,7 +33,6 @@ re-registering.
 from __future__ import annotations
 
 import json
-import os
 import threading
 import uuid
 import re
@@ -48,6 +47,7 @@ from ..errors import (
     LoadShedError,
     ReproError,
     ServiceError,
+    StorageError,
     UnsupportedQueryError,
 )
 from ..obs import MetricsRegistry
@@ -57,16 +57,17 @@ from ..relational.csv_io import load_database
 from ..relational.database import Database
 from ..relational.sql import sql_to_canonical
 from ..robustness import (
-    BatchJournal,
     Budget,
     CancellationToken,
     CircuitBreakerBoard,
 )
+from ..storage import StorageBackend, open_backend
 from .quota import QuotaRegistry, QuotaSpec
 
 __all__ = [
     "AdmissionGate",
     "DEGRADATION_SEVERITY",
+    "STORAGE_KINDS",
     "ServiceConfig",
     "ServiceState",
 ]
@@ -89,15 +90,8 @@ _REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
 _NAME_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
 
 
-def _atomic_write_json(path: Path, document: Mapping[str, Any]) -> None:
-    """Write *document* durably: temp file + fsync + rename."""
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+#: Storage backend selections understood by ``--storage``.
+STORAGE_KINDS: tuple[str, ...] = ("auto", "local", "memory", "none")
 
 
 @dataclass(frozen=True)
@@ -117,6 +111,17 @@ class ServiceConfig:
     #: directory for request manifests + batch journals (``None``
     #: disables request journaling and crash recovery)
     journal_dir: Path | None = None
+    #: storage backend kind (``auto`` picks ``local`` when
+    #: ``journal_dir`` is set, ``none`` otherwise; ``memory`` runs the
+    #: full journaling/recovery code path without a disk)
+    storage: str = "auto"
+    #: per-connection socket timeout in seconds: a client that stalls
+    #: mid-request gets a clean 408 envelope instead of parking a
+    #: worker thread forever (``None`` = wait indefinitely)
+    request_timeout_s: float | None = 30.0
+    #: optional file holding the quota spec, re-read on SIGHUP /
+    #: ``POST /v1/admin/reload`` (``None`` = quotas fixed at startup)
+    quota_file: Path | None = None
     #: seconds :func:`~repro.service.server.serve` waits for in-flight
     #: requests after the accept loop stops before giving up
     drain_timeout_s: float = 10.0
@@ -124,6 +129,28 @@ class ServiceConfig:
     retry_after_s: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.storage not in STORAGE_KINDS:
+            raise ConfigurationError(
+                f"unknown storage kind {self.storage!r}; choose from "
+                f"{', '.join(STORAGE_KINDS)}"
+            )
+        if self.storage == "local" and self.journal_dir is None:
+            raise ConfigurationError(
+                "--storage local needs a journal directory "
+                "(--journal-dir)"
+            )
+        if (
+            self.request_timeout_s is not None
+            and self.request_timeout_s <= 0
+        ):
+            raise ConfigurationError(
+                f"request_timeout_s must be positive, got "
+                f"{self.request_timeout_s!r}"
+            )
+        if self.quota_file is not None:
+            object.__setattr__(
+                self, "quota_file", Path(self.quota_file)
+            )
         if self.workers < 1:
             raise ConfigurationError(
                 f"service workers must be >= 1, got {self.workers}"
@@ -146,6 +173,13 @@ class ServiceConfig:
             object.__setattr__(
                 self, "journal_dir", Path(self.journal_dir)
             )
+
+    @property
+    def resolved_storage(self) -> str:
+        """The concrete backend kind ``auto`` resolves to."""
+        if self.storage != "auto":
+            return self.storage
+        return "local" if self.journal_dir is not None else "none"
 
 
 class AdmissionGate:
@@ -225,7 +259,19 @@ class ServiceState:
         self.clock = current_clock()
         self.metrics = MetricsRegistry()
         self.breakers = CircuitBreakerBoard()
-        self.quotas = QuotaRegistry(config.quota)
+        quota = config.quota
+        if (
+            quota is None
+            and config.quota_file is not None
+            and config.quota_file.exists()
+        ):
+            # the initial spec comes from the reloadable file; a
+            # malformed file at *startup* fails loudly (exit 2) --
+            # only later reloads degrade to keeping the old spec
+            text = config.quota_file.read_text(encoding="utf-8").strip()
+            if text:
+                quota = QuotaSpec.parse(text)
+        self.quotas = QuotaRegistry(quota)
         self.gate = AdmissionGate(config.shed_after)
         self.cancel = CancellationToken()
         self.ready = threading.Event()
@@ -239,8 +285,23 @@ class ServiceState:
         #: recovery problems, surfaced on /readyz (the server starts
         #: regardless; a stuck manifest must not block the healthy ones)
         self._recovery_errors: list[str] = []
-        if config.journal_dir is not None:
-            config.journal_dir.mkdir(parents=True, exist_ok=True)
+        #: the persistence layer; ``None`` disables journaling and
+        #: recovery entirely (storage kind "none")
+        self.backend: StorageBackend | None = None
+        #: the :class:`~repro.storage.backend.RecoveryReport` of the
+        #: startup storage scan (``None`` without a backend)
+        self.storage_recovery = None
+        kind = config.resolved_storage
+        if kind != "none":
+            if config.journal_dir is not None:
+                config.journal_dir.mkdir(parents=True, exist_ok=True)
+            self.backend = open_backend(
+                kind, root=config.journal_dir, metrics=self.metrics
+            )
+            # storage-level recovery runs before anything reads the
+            # directory: stray temp files are quarantined and a corrupt
+            # databases.json is repaired from its newest valid snapshot
+            self.storage_recovery = self.backend.recover()
             self._load_registrations()
 
     # ------------------------------------------------------------------
@@ -368,35 +429,38 @@ class ServiceState:
             return canonical, engine
 
     # ------------------------------------------------------------------
-    # Registration persistence (journal_dir only)
+    # Registration persistence (storage backend only)
     # ------------------------------------------------------------------
-    def _registrations_path(self) -> Path | None:
-        if self.config.journal_dir is None:
-            return None
-        return self.config.journal_dir / "databases.json"
+    _REGISTRATIONS_DOC = "databases.json"
 
     def _persist_registrations(self) -> None:
-        path = self._registrations_path()
-        if path is None:
+        if self.backend is None:
             return
         with self._registry_lock:
             snapshot = {
                 name: dict(source)
                 for name, source in self._databases.items()
             }
-        _atomic_write_json(path, snapshot)
+        self.backend.write_document(self._REGISTRATIONS_DOC, snapshot)
+        # a checksummed generation: startup recovery repairs a corrupt
+        # primary databases.json from the newest valid one
+        self.backend.write_snapshot("databases", snapshot)
 
     def _load_registrations(self) -> None:
-        path = self._registrations_path()
-        if path is None or not path.exists():
+        if self.backend is None:
             return
         try:
-            stored = json.loads(path.read_text(encoding="utf-8"))
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            stored = self.backend.read_document(self._REGISTRATIONS_DOC)
+        except StorageError as exc:
+            # backend.recover() already tried snapshot repair; with no
+            # valid generation left this is genuinely unrecoverable
             raise ConfigurationError(
-                f"persisted registrations {path} are corrupt: {exc}; "
-                "move the file aside to start fresh"
+                f"persisted registrations "
+                f"{self.backend.path_of(self._REGISTRATIONS_DOC)} are "
+                f"corrupt: {exc}; move the file aside to start fresh"
             ) from exc
+        if stored is None:
+            return
         for name, source in stored.items():
             self.register_database({"name": name, **source})
 
@@ -479,35 +543,42 @@ class ServiceState:
             self._required_str(body, "sql"),
         )
         Budget.from_request(body.get("budget"))
-        if self.config.journal_dir is not None:
+        if self.backend is not None:
             existing = self._stored_result(request_id)
             if existing is not None:
                 return existing, False
-            _atomic_write_json(
-                self._manifest_path(request_id), manifest
+            self.backend.write_document(
+                self._manifest_name(request_id), manifest
             )
         document = self._run_batch(manifest)
         return document, True
 
-    def _manifest_path(self, request_id: str) -> Path:
-        assert self.config.journal_dir is not None
-        return self.config.journal_dir / f"{request_id}.request.json"
+    @staticmethod
+    def _manifest_name(request_id: str) -> str:
+        return f"{request_id}.request.json"
 
-    def _result_path(self, request_id: str) -> Path:
-        assert self.config.journal_dir is not None
-        return self.config.journal_dir / f"{request_id}.result.json"
+    @staticmethod
+    def _result_name(request_id: str) -> str:
+        return f"{request_id}.result.json"
 
-    def _journal_path(self, request_id: str) -> Path:
-        assert self.config.journal_dir is not None
-        return self.config.journal_dir / f"{request_id}.journal.jsonl"
+    @staticmethod
+    def _journal_name(request_id: str) -> str:
+        return f"{request_id}.journal.jsonl"
 
     def _stored_result(self, request_id: str) -> dict | None:
-        if self.config.journal_dir is None:
+        if self.backend is None:
             return None
-        path = self._result_path(request_id)
-        if not path.exists():
+        try:
+            return self.backend.read_document(
+                self._result_name(request_id)
+            )
+        except StorageError:
+            # a torn/corrupt result is quarantined (evidence, never
+            # deleted); its manifest is still present, so recovery
+            # re-runs the batch and writes a fresh result
+            self.backend.quarantine(self._result_name(request_id))
+            self.metrics.counter("service.results.corrupt").inc()
             return None
-        return json.loads(path.read_text(encoding="utf-8"))
 
     def batch_result(self, request_id: str) -> dict:
         """The stored result of *request_id* (404 when unknown,
@@ -519,9 +590,8 @@ class ServiceState:
         stored = self._stored_result(request_id)
         if stored is not None:
             return stored
-        if (
-            self.config.journal_dir is not None
-            and self._manifest_path(request_id).exists()
+        if self.backend is not None and self.backend.io.exists(
+            self.backend.path_of(self._manifest_name(request_id))
         ):
             raise ServiceError(
                 f"batch {request_id} is journaled but not finished -- "
@@ -544,9 +614,9 @@ class ServiceState:
             manifest["database"], manifest["sql"]
         )
         journal = None
-        if self.config.journal_dir is not None:
-            journal = BatchJournal(
-                self._journal_path(request_id), resume=True
+        if self.backend is not None:
+            journal = self.backend.journal(
+                self._journal_name(request_id), resume=True
             )
         try:
             outcomes = engine.explain_each(
@@ -586,8 +656,10 @@ class ServiceState:
                 "misses": stats.misses,
             },
         }
-        if self.config.journal_dir is not None:
-            _atomic_write_json(self._result_path(request_id), document)
+        if self.backend is not None:
+            self.backend.write_document(
+                self._result_name(request_id), document
+            )
         self.metrics.counter("service.batches").inc()
         self.metrics.counter("service.questions").inc(len(questions))
         return document
@@ -606,19 +678,21 @@ class ServiceState:
         source vanished, say) is left in place and reported; it never
         blocks the server from starting.
         """
-        if self.config.journal_dir is None:
+        if self.backend is None:
             return []
         recovered: list[str] = []
-        for manifest_path in sorted(
-            self.config.journal_dir.glob("*.request.json")
+        for manifest_name in self.backend.list_documents(
+            ".request.json"
         ):
-            request_id = manifest_path.name[: -len(".request.json")]
-            if self._result_path(request_id).exists():
+            request_id = manifest_name[: -len(".request.json")]
+            if self.backend.io.exists(
+                self.backend.path_of(self._result_name(request_id))
+            ):
                 continue
             try:
-                manifest = json.loads(
-                    manifest_path.read_text(encoding="utf-8")
-                )
+                manifest = self.backend.read_document(manifest_name)
+                if manifest is None:
+                    continue  # raced away between list and read
                 self._run_batch(manifest)
             except (ReproError, OSError, json.JSONDecodeError) as exc:
                 self.metrics.counter(
@@ -631,6 +705,44 @@ class ServiceState:
             recovered.append(request_id)
             self.metrics.counter("service.recovery.batches").inc()
         return recovered
+
+    # ------------------------------------------------------------------
+    # Config hot reload
+    # ------------------------------------------------------------------
+    def reload_config(self) -> dict:
+        """Re-read the quota file and swap the registry's spec.
+
+        Triggered by SIGHUP or ``POST /v1/admin/reload``.  A missing,
+        unreadable, or malformed quota file keeps the old spec in
+        force and bumps ``config.reload_failed`` -- a bad reload must
+        degrade to "nothing changed", never to "quotas off".  An
+        *empty* quota file is an explicit request to disable quotas.
+        """
+        if self.config.quota_file is None:
+            return {
+                "reloaded": False,
+                "reason": "no --quota-file configured",
+            }
+        try:
+            text = self.config.quota_file.read_text(
+                encoding="utf-8"
+            ).strip()
+            spec = QuotaSpec.parse(text) if text else None
+        except (OSError, ReproError) as exc:
+            self.metrics.counter("config.reload_failed").inc()
+            return {
+                "reloaded": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "quota": str(self.quotas.spec)
+                if self.quotas.spec
+                else None,
+            }
+        self.quotas.reconfigure(spec)
+        self.metrics.counter("config.reloads").inc()
+        return {
+            "reloaded": True,
+            "quota": str(spec) if spec is not None else None,
+        }
 
     # ------------------------------------------------------------------
     # Drain
@@ -691,7 +803,19 @@ class ServiceState:
             "status": status,
             "draining": self.draining,
             "open_breakers": open_sites,
+            "storage": (
+                self.backend.describe()
+                if self.backend is not None
+                else {"kind": "none"}
+            ),
         }
+        if self.storage_recovery is not None and (
+            self.storage_recovery.quarantined
+            or self.storage_recovery.repaired
+        ):
+            document["storage_recovery"] = (
+                self.storage_recovery.to_dict()
+            )
         if self._recovery_errors:
             document["recovery_errors"] = list(self._recovery_errors)
         return ready, document

@@ -1,0 +1,503 @@
+"""Crash-state enumeration: the proof layer of the storage subsystem.
+
+In the spirit of ALICE and CrashMonkey: instead of trusting that the
+write-ahead protocol is crash-consistent, *enumerate what a crash can
+leave behind and run recovery on every one of those states*.
+
+The pieces:
+
+* :class:`SimIO` -- a :class:`~repro.storage.io.MemoryIO` that records
+  every logical I/O operation (truncate, append, fsync, rename,
+  directory fsync, unlink) into an :class:`OpLog`, and imitates the
+  same injected disk faults as the real shim (a lying ``fsync``
+  records *no* fsync op, so its data stays volatile in the model --
+  which is the truth);
+
+* :class:`CrashSim` -- replays a prefix of the op log into a
+  two-layer filesystem model (inode data vs. directory namespace,
+  each with its own durable/volatile split) and enumerates the
+  **legal post-crash states**: for volatile inode data every in-order
+  prefix of the pending appends, a torn cut inside the last append,
+  and an out-of-order block loss (a later append persisted while an
+  earlier one reads back as zeros -- disks really do this); for
+  volatile namespace operations (creates, renames, unlinks not yet
+  covered by a directory fsync) every subset taken in log order;
+
+* :func:`enumerate_crash_states` -- ``(prefix, files)`` for every op
+  prefix of a recorded workload, where ``files`` maps path -> content
+  exactly as a post-crash mount would show them;
+
+* :func:`materialize` -- loads one crash state into a fresh
+  :class:`~repro.storage.io.MemoryIO` so recovery code (journal load,
+  backend recover, batch resume) runs against it unmodified.
+
+The acceptance harness in ``tests/test_crashsim.py`` records a
+journaled ``workers=4`` batch, then for every crash prefix and every
+legal state: loads the surviving journal, checks that no committed
+record is lost and no uncommitted record is resurrected, resumes the
+batch, and asserts the resumed outcomes are byte-identical to the
+clean run -- across 25+ fault seeds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from .io import (
+    MemoryIO,
+    fsync_lost,
+    read_fault,
+    rename_fault,
+    write_fault,
+)
+
+__all__ = [
+    "CrashSim",
+    "MAX_STATES_PER_PREFIX",
+    "Op",
+    "OpLog",
+    "SimIO",
+    "enumerate_crash_states",
+    "journal_commit_horizon",
+    "materialize",
+]
+
+#: Cap on enumerated states per crash prefix: per-file content choices
+#: and namespace subsets multiply, and a pathological workload must not
+#: turn the harness into a combinatorial bomb.  64 is far above what
+#: the journaling protocol produces (it fsyncs after every append,
+#: keeping the volatile set tiny).
+MAX_STATES_PER_PREFIX = 64
+
+
+@dataclass(frozen=True)
+class Op:
+    """One logical I/O operation, in program order."""
+
+    kind: str  # truncate | append | fsync | rename | fsync_dir | unlink
+    path: str
+    data: str = ""
+    dst: str = ""
+
+    def __repr__(self) -> str:
+        extra = f", {len(self.data)}B" if self.kind == "append" else ""
+        dst = f" -> {self.dst}" if self.kind == "rename" else ""
+        return f"Op({self.kind} {self.path}{dst}{extra})"
+
+
+class OpLog:
+    """The recorded operation sequence of one workload."""
+
+    def __init__(self):
+        self.ops: list[Op] = []
+
+    def record(self, op: Op) -> None:
+        self.ops.append(op)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def __getitem__(self, index):
+        return self.ops[index]
+
+
+class SimIO(MemoryIO):
+    """An op-logging, fault-imitating in-memory disk.
+
+    The cache layer (what reads observe) is the inherited
+    :class:`MemoryIO` file table; durability is *not* modelled here --
+    it is derived later by :class:`CrashSim` from the op log, which is
+    the whole point: one recorded run yields every crash state.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.log = OpLog()
+
+    # -- handles -------------------------------------------------------
+    def open(self, path: Path, mode: str):
+        if mode == "r":
+            error = read_fault(path)
+            if error is not None:
+                raise error
+        handle = super().open(path, mode)
+        if mode == "w":
+            with self._lock:
+                self.log.record(Op("truncate", handle.path))
+        # bytes below this mark are already in the log
+        handle.logged_len = len(handle.buffer.getvalue())
+        return handle
+
+    def write(self, handle, text: str) -> None:
+        landed, error = write_fault(text, handle.path)
+        super().write(handle, landed)
+        if error is not None:
+            self.flush(handle)
+            raise error
+
+    def flush(self, handle) -> None:
+        with self._lock:
+            content = handle.buffer.getvalue()
+            logged = getattr(handle, "logged_len", 0)
+            if len(content) > logged:
+                self.log.record(
+                    Op("append", handle.path, data=content[logged:])
+                )
+                handle.logged_len = len(content)
+            self.files[handle.path] = content
+
+    def fsync(self, handle) -> None:
+        self.flush(handle)
+        if fsync_lost():
+            return  # the lying disk: no fsync ever reaches the log
+        with self._lock:
+            self.log.record(Op("fsync", handle.path))
+
+    def read_text(self, path: Path) -> str:
+        error = read_fault(path)
+        if error is not None:
+            raise error
+        return super().read_text(path)
+
+    def listdir(self, path: Path) -> list[str]:
+        error = read_fault(path)
+        if error is not None:
+            raise error
+        return super().listdir(path)
+
+    def replace(self, src: Path, dst: Path) -> None:
+        error = rename_fault(src, dst)
+        if error is not None:
+            raise error
+        with self._lock:
+            super().replace(src, dst)
+            self.log.record(
+                Op("rename", self._key(src), dst=self._key(dst))
+            )
+
+    def unlink(self, path: Path) -> None:
+        key = self._key(path)
+        with self._lock:
+            existed = key in self.files
+            super().unlink(path)
+            if existed:
+                self.log.record(Op("unlink", key))
+
+    def fsync_dir(self, path: Path) -> None:
+        if fsync_lost():
+            return
+        with self._lock:
+            self.log.record(Op("fsync_dir", self._key(path)))
+
+
+# ---------------------------------------------------------------------------
+# The filesystem model: inode data layer + directory namespace layer
+# ---------------------------------------------------------------------------
+@dataclass
+class _Inode:
+    """Data-layer state of one inode."""
+
+    durable: str | None = None  # content at last fsync (None: never)
+    existed_durably: bool = False
+    volatile: list[Op] = field(default_factory=list)  # since last fsync
+
+    def cache_content(self) -> str:
+        content = self.durable if self.existed_durably else ""
+        for op in self.volatile:
+            if op.kind == "truncate":
+                content = ""
+            else:
+                content = (content or "") + op.data
+        return content or ""
+
+
+@dataclass(frozen=True)
+class _NsOp:
+    """One volatile namespace operation (awaiting its dir fsync)."""
+
+    kind: str  # creat | rename | unlink
+    path: str
+    dst: str = ""
+    inode: int = -1
+
+    @property
+    def directories(self) -> tuple[str, ...]:
+        dirs = {str(Path(self.path).parent)}
+        if self.kind == "rename":
+            dirs.add(str(Path(self.dst).parent))
+        return tuple(dirs)
+
+
+class CrashSim:
+    """Replays an op-log prefix and enumerates legal crash states."""
+
+    def __init__(self, log: OpLog):
+        self.log = log
+
+    # -- model construction --------------------------------------------
+    def _replay(self, prefix: int):
+        """Apply ``log[:prefix]``.
+
+        Returns ``(inodes, names, durable_names, volatile_ns)``:
+        ``inodes`` keyed by inode id; ``names`` the cache namespace
+        (path -> inode id, what the live process saw); ``durable_names``
+        the namespace entries already on disk; ``volatile_ns`` the
+        namespace operations not yet covered by a directory fsync, in
+        log order.
+        """
+        inodes: dict[int, _Inode] = {}
+        names: dict[str, int] = {}
+        durable_names: dict[str, int] = {}
+        volatile_ns: list[_NsOp] = []
+        next_id = itertools.count()
+
+        def creat(path: str) -> int:
+            ino = next(next_id)
+            inodes[ino] = _Inode()
+            names[path] = ino
+            volatile_ns.append(_NsOp("creat", path, inode=ino))
+            return ino
+
+        for op in self.log[:prefix]:
+            if op.kind == "truncate":
+                ino = names.get(op.path)
+                if ino is None:
+                    ino = creat(op.path)
+                # truncate-in-place on an existing inode, or the
+                # initial (empty) state of a fresh one -- either way
+                # the zero length is itself volatile
+                inodes[ino].volatile.append(op)
+            elif op.kind == "append":
+                ino = names.get(op.path)
+                if ino is None:  # open("a") on a missing file creates
+                    ino = creat(op.path)
+                inodes[ino].volatile.append(op)
+            elif op.kind == "fsync":
+                ino = names.get(op.path)
+                if ino is None:
+                    continue
+                node = inodes[ino]
+                node.durable = node.cache_content()
+                node.existed_durably = True
+                node.volatile = []
+                # fsync of a brand-new file also persists its
+                # directory entry on mainstream journaling filesystems
+                # (ext4/xfs/btrfs log the creat with the data); ALICE
+                # treats this as safe and so do we
+                durable_names[op.path] = ino
+                volatile_ns = [
+                    ns
+                    for ns in volatile_ns
+                    if not (ns.kind == "creat" and ns.path == op.path)
+                ]
+            elif op.kind == "rename":
+                ino = names.pop(op.path)
+                names[op.dst] = ino
+                volatile_ns.append(
+                    _NsOp("rename", op.path, dst=op.dst, inode=ino)
+                )
+            elif op.kind == "unlink":
+                names.pop(op.path, None)
+                volatile_ns.append(_NsOp("unlink", op.path))
+            elif op.kind == "fsync_dir":
+                # persists the *current* entries of that directory:
+                # live entries become durable, durable-but-removed
+                # entries disappear, and its pending ns ops retire
+                for path, ino in names.items():
+                    if str(Path(path).parent) == op.path:
+                        durable_names[path] = ino
+                for path in [
+                    p
+                    for p in durable_names
+                    if str(Path(p).parent) == op.path and p not in names
+                ]:
+                    del durable_names[path]
+                volatile_ns = [
+                    ns
+                    for ns in volatile_ns
+                    if op.path not in ns.directories
+                ]
+        return inodes, names, durable_names, volatile_ns
+
+    # -- content choices -----------------------------------------------
+    @staticmethod
+    def _content_choices(node: _Inode) -> list[str | None]:
+        """The legal on-disk contents of one inode after a crash.
+
+        ``None`` means no data ever persisted for an inode that never
+        existed durably -- a directory entry pointing at it exposes no
+        file.
+        """
+        base = node.durable if node.existed_durably else None
+        if not node.volatile:
+            return [base]
+        choices: list[str | None] = [base]
+        # in-order prefixes of the volatile ops
+        content = base or ""
+        applied: list[str] = []
+        for op in node.volatile:
+            if op.kind == "truncate":
+                content = ""
+            else:
+                content += op.data
+            applied.append(content)
+        choices.extend(applied)
+        # a torn cut inside the final volatile append
+        last = node.volatile[-1]
+        if last.kind == "append" and len(last.data) > 1:
+            before = applied[-2] if len(applied) >= 2 else (base or "")
+            choices.append(before + last.data[: len(last.data) // 2])
+        # out-of-order block loss: a later append persisted while an
+        # earlier one reads back as zeros (lost data blocks under a
+        # persisted size) -- the state torn-tail discard plus
+        # stop-at-first-corruption must survive
+        appends = [op for op in node.volatile if op.kind == "append"]
+        if len(appends) >= 2:
+            zeroed = (base or "") + "\x00" * len(appends[0].data)
+            for op in appends[1:]:
+                zeroed += op.data
+            choices.append(zeroed)
+        # dedupe, preserving order
+        seen: set[str | None] = set()
+        unique: list[str | None] = []
+        for choice in choices:
+            if choice not in seen:
+                seen.add(choice)
+                unique.append(choice)
+        return unique
+
+    # -- state assembly ------------------------------------------------
+    def states_at(self, prefix: int) -> Iterator[dict[str, str]]:
+        """Every legal post-crash file table after ``log[:prefix]``.
+
+        Yields dicts mapping path -> content; paths without an entry
+        do not exist in that state.
+        """
+        inodes, _names, durable_names, volatile_ns = self._replay(
+            prefix
+        )
+
+        # namespace choices: each volatile ns op either reached disk
+        # or did not, applied in log order
+        ns_count = len(volatile_ns)
+        if 2**ns_count > MAX_STATES_PER_PREFIX:
+            # too many to exhaust: every in-order prefix (the states
+            # an ordered metadata journal can produce), nothing, all
+            ns_subsets: list[tuple[bool, ...]] = [
+                tuple(i < k for i in range(ns_count))
+                for k in range(ns_count + 1)
+            ]
+        else:
+            ns_subsets = list(
+                itertools.product((False, True), repeat=ns_count)
+            )
+
+        # content choices for every inode, computed once
+        content_options = {
+            ino: self._content_choices(node)
+            for ino, node in inodes.items()
+        }
+
+        emitted = 0
+        seen_states: set[tuple] = set()
+        for ns_applied in ns_subsets:
+            # resolve the namespace: durable entries plus applied ops
+            resolved: dict[str, int] = dict(durable_names)
+            for ns, applied in zip(volatile_ns, ns_applied):
+                if not applied:
+                    continue
+                if ns.kind == "creat":
+                    resolved[ns.path] = ns.inode
+                elif ns.kind == "rename":
+                    resolved.pop(ns.path, None)
+                    resolved[ns.dst] = ns.inode
+                elif ns.kind == "unlink":
+                    resolved.pop(ns.path, None)
+            # the content product ranges only over inodes this
+            # namespace can reach: unreferenced inodes would multiply
+            # the product with indistinguishable states
+            used = sorted(set(resolved.values()))
+            for contents in itertools.product(
+                *(content_options[ino] for ino in used)
+            ):
+                content_of = dict(zip(used, contents))
+                files: dict[str, str] = {}
+                for name in sorted(resolved):
+                    content = content_of[resolved[name]]
+                    if content is None:
+                        continue  # inode with no persisted data
+                    files[name] = content
+                key = tuple(sorted(files.items()))
+                if key in seen_states:
+                    continue
+                seen_states.add(key)
+                yield dict(files)
+                emitted += 1
+                if emitted >= MAX_STATES_PER_PREFIX:
+                    return
+
+
+def enumerate_crash_states(
+    log: OpLog,
+) -> Iterator[tuple[int, dict[str, str]]]:
+    """``(prefix, files)`` for every crash point of a recorded run.
+
+    Prefix 0 is the state before any operation; prefix ``len(log)``
+    is a crash immediately after the final operation (which, for a
+    workload ending in fsyncs, includes the fully-durable state).
+    """
+    sim = CrashSim(log)
+    for prefix in range(len(log) + 1):
+        for files in sim.states_at(prefix):
+            yield prefix, files
+
+
+def materialize(
+    files: Mapping[str, str], root: Path | None = None
+) -> MemoryIO:
+    """Load one crash state into a fresh :class:`MemoryIO`.
+
+    Recovery code (journal load, backend recover, batch resume) then
+    runs against it exactly as it would against a real post-crash
+    directory.  *root* is pre-created so parent-directory checks pass
+    even for states where no file survived.
+    """
+    io = MemoryIO()
+    if root is not None:
+        io.mkdir(Path(root))
+    for path, content in files.items():
+        io.mkdir(Path(path).parent)
+        io.files[str(Path(path))] = content
+    return io
+
+
+def journal_commit_horizon(
+    log: OpLog, journal_path: str, prefix: int
+) -> int:
+    """How many journal bytes are *committed* at crash prefix *prefix*.
+
+    A byte is committed once an ``fsync`` of the journal file after
+    its append has executed before the crash.  Because appends to one
+    file persist no later than the file's next fsync, every legal
+    crash state preserves exactly these bytes (and may preserve more,
+    possibly torn).
+    """
+    appended = 0
+    committed = 0
+    for op in log[:prefix]:
+        if op.path != journal_path:
+            continue
+        if op.kind == "truncate":
+            appended = 0
+            committed = 0
+        elif op.kind == "append":
+            appended += len(op.data)
+        elif op.kind == "fsync":
+            committed = appended
+    return committed

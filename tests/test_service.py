@@ -23,9 +23,11 @@ from __future__ import annotations
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import threading
+import time
 import urllib.request
 from contextlib import contextmanager
 from io import StringIO
@@ -627,7 +629,7 @@ KILL_QUESTIONS = [
 class _ServerProcess:
     """One ``repro.cli serve`` subprocess bound to an ephemeral port."""
 
-    def __init__(self, journal_dir: Path, env_extra=None):
+    def __init__(self, journal_dir: Path, env_extra=None, extra_args=None):
         env = dict(os.environ)
         env["PYTHONPATH"] = _SRC + os.pathsep + env.get(
             "PYTHONPATH", ""
@@ -648,6 +650,7 @@ class _ServerProcess:
                 "4",
                 "--journal-dir",
                 str(journal_dir),
+                *(extra_args or []),
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
@@ -792,3 +795,197 @@ class TestServiceDrain:
         document = json.loads(result.stdout)
         assert document["error"]["type"] == "ConfigurationError"
         assert "quota" in document["error"]["message"]
+
+
+# ---------------------------------------------------------------------------
+# storage backends behind the service
+# ---------------------------------------------------------------------------
+class TestStorageKinds:
+    def test_storage_config_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="storage"):
+            ServiceConfig(storage="floppy")
+        with pytest.raises(ConfigurationError, match="journal"):
+            ServiceConfig(storage="local")
+        assert ServiceConfig().resolved_storage == "none"
+        assert (
+            ServiceConfig(journal_dir=tmp_path / "j").resolved_storage
+            == "local"
+        )
+        assert ServiceConfig(storage="memory").resolved_storage == "memory"
+        assert (
+            ServiceConfig(
+                storage="none", journal_dir=tmp_path / "j"
+            ).resolved_storage
+            == "none"
+        )
+
+    def test_memory_storage_batches_without_touching_disk(self):
+        state = ServiceState(ServiceConfig(storage="memory"))
+        state.ready.set()
+        state.register_database(REGISTER)
+        body = _batch_body(request_id="m1", workers=2)
+        document, fresh = state.explain_batch(body)
+        assert fresh
+        again, fresh = state.explain_batch(body)
+        assert not fresh  # idempotency via the in-memory result doc
+        assert again["outcomes"] == document["outcomes"]
+        names = state.backend.list_documents()
+        assert "m1.request.json" in names
+        assert "m1.result.json" in names
+
+    def test_memory_storage_over_http(self):
+        with _live_server(storage="memory") as (httpd, client):
+            client.register_database(REGISTER)
+            first = client.explain_batch(
+                _batch_body(request_id="mem-http")
+            )
+            assert first.status == 200
+            replay = client.explain_batch(
+                _batch_body(request_id="mem-http")
+            )
+            assert replay.body["cached_result"] is True
+            ready = client.readyz()
+            assert ready.body["storage"]["kind"] == "memory"
+
+    def test_readyz_reports_storage_recovery(self, tmp_path):
+        journal_dir = tmp_path / "journal"
+        journal_dir.mkdir()
+        # a temp file stranded by a crash mid-atomic-write: recovery
+        # quarantines it before the service flips ready
+        (journal_dir / "junk.json.tmp").write_text("half a doc")
+        state = ServiceState(ServiceConfig(journal_dir=journal_dir))
+        _ready, document = state.ready_document()
+        assert document["storage"]["kind"] == "local"
+        assert document["storage_recovery"]["quarantined"] == [
+            "junk.json.tmp"
+        ]
+        assert (journal_dir / "quarantine" / "junk.json.tmp").exists()
+
+
+# ---------------------------------------------------------------------------
+# request timeouts: a stalled client must not hold a worker forever
+# ---------------------------------------------------------------------------
+class TestRequestTimeout:
+    def test_config_rejects_non_positive_timeout(self):
+        with pytest.raises(ConfigurationError, match="timeout"):
+            ServiceConfig(request_timeout_s=0)
+        with pytest.raises(ConfigurationError, match="timeout"):
+            ServiceConfig(request_timeout_s=-1)
+        assert ServiceConfig(request_timeout_s=None).request_timeout_s is None
+
+    def test_stalled_body_gets_408_and_connection_close(self):
+        with _live_server(request_timeout_s=0.4) as (httpd, client):
+            client.register_database(REGISTER)
+            port = httpd.server_address[1]
+            with socket.create_connection(("127.0.0.1", port)) as sock:
+                sock.settimeout(15)
+                # promise 4096 body bytes, deliver 8, then stall: the
+                # read blocks until the socket timeout fires
+                sock.sendall(
+                    b"POST /v1/explain HTTP/1.1\r\n"
+                    b"Host: t\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: 4096\r\n"
+                    b"\r\n"
+                    b'{"data":'
+                )
+                chunks = []
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break  # server closed the connection: good
+                    chunks.append(chunk)
+            response = b"".join(chunks)
+            assert b" 408 " in response.splitlines()[0]
+            assert b"RequestTimeout" in response
+            # no worker was left hung: the server still answers
+            assert client.healthz().status == 200
+            assert client.explain(_explain_body()).status == 200
+            timeouts = client.metrics().body["metrics"]
+            assert timeouts["service.timeouts"]["value"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# quota hot-reload: SIGHUP and POST /v1/admin/reload
+# ---------------------------------------------------------------------------
+class TestQuotaReload:
+    def test_admin_reload_swaps_the_spec(self, tmp_path):
+        quota_file = tmp_path / "quota.txt"
+        quota_file.write_text("1/min:1\n")
+        with _live_server(quota_file=quota_file) as (httpd, client):
+            client.register_database(REGISTER)
+            assert client.explain(_explain_body()).status == 200
+            assert client.explain(_explain_body()).status == 429
+            quota_file.write_text("100/s:100\n")
+            response = client.request("POST", "/v1/admin/reload")
+            assert response.status == 200
+            assert response.body["reloaded"] is True
+            assert response.body["quota"] == "100/s:100"
+            # new spec in force, and the exhausted bucket was dropped
+            assert client.explain(_explain_body()).status == 200
+
+    def test_malformed_reload_keeps_the_old_spec(self, tmp_path):
+        quota_file = tmp_path / "quota.txt"
+        quota_file.write_text("1/min:1\n")
+        with _live_server(quota_file=quota_file) as (httpd, client):
+            client.register_database(REGISTER)
+            assert client.explain(_explain_body()).status == 200
+            assert client.explain(_explain_body()).status == 429
+            quota_file.write_text("not a quota at all\n")
+            response = client.request("POST", "/v1/admin/reload")
+            assert response.status == 400
+            assert response.body["reloaded"] is False
+            assert "error" in response.body
+            # a bad reload degrades to "nothing changed", never to
+            # "quotas off": the old spec still refuses
+            assert client.explain(_explain_body()).status == 429
+            failed = client.metrics().body["metrics"]
+            assert failed["config.reload_failed"]["value"] >= 1
+
+    def test_empty_quota_file_disables_quotas(self, tmp_path):
+        quota_file = tmp_path / "quota.txt"
+        quota_file.write_text("1/min:1\n")
+        with _live_server(quota_file=quota_file) as (httpd, client):
+            client.register_database(REGISTER)
+            assert client.explain(_explain_body()).status == 200
+            assert client.explain(_explain_body()).status == 429
+            quota_file.write_text("")
+            response = client.request("POST", "/v1/admin/reload")
+            assert response.status == 200
+            assert response.body["quota"] is None
+            assert client.explain(_explain_body()).status == 200
+
+    def test_reload_without_quota_file_is_400(self):
+        with _live_server() as (httpd, client):
+            response = client.request("POST", "/v1/admin/reload")
+            assert response.status == 400
+            assert response.body["reloaded"] is False
+            assert "no --quota-file" in response.body["reason"]
+
+    @pytest.mark.skipif(
+        not hasattr(signal, "SIGHUP"), reason="no SIGHUP on this OS"
+    )
+    def test_sighup_reloads_the_quota_file(self, tmp_path):
+        quota_file = tmp_path / "quota.txt"
+        quota_file.write_text("1/min:1\n")
+        server = _ServerProcess(
+            tmp_path / "journal",
+            extra_args=["--quota-file", str(quota_file)],
+        )
+        try:
+            assert server.client.register_database(REGISTER).ok
+            assert server.client.explain(_explain_body()).status == 200
+            assert server.client.explain(_explain_body()).status == 429
+            quota_file.write_text("100/s:100\n")
+            server.proc.send_signal(signal.SIGHUP)
+            deadline = time.monotonic() + 15
+            while time.monotonic() < deadline:
+                metrics = server.client.metrics().body["metrics"]
+                if metrics.get("config.reloads", {}).get("value", 0):
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("SIGHUP reload never registered in metrics")
+            assert server.client.explain(_explain_body()).status == 200
+        finally:
+            server.kill_wait()
