@@ -60,6 +60,7 @@ from .faults import (
     FAULT_SCOPES,
     FAULT_SITES,
     IO_FAULT_SITES,
+    NET_FAULT_SITES,
     FaultPlan,
     FaultSpec,
     active_plan,
@@ -96,6 +97,7 @@ __all__ = [
     "FAULT_SCOPES",
     "FAULT_SITES",
     "IO_FAULT_SITES",
+    "NET_FAULT_SITES",
     "FailureInfo",
     "FaultPlan",
     "FaultSpec",

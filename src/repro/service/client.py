@@ -10,6 +10,15 @@ behaviour of a robust service, so the caller inspects
 failures (connection refused, reset) do raise ``OSError`` and friends;
 :meth:`ServiceClient.wait_ready` wraps the retry loop callers need at
 startup.
+
+A client built with a :class:`~repro.robustness.RetryPolicy` also
+retries *pushback* responses -- 429 (quota / shedding) and 503
+(draining / quorum-lost) -- waiting the larger of the server's
+``Retry-After`` and the policy's backoff between attempts.  The wait
+runs on the ambient clock (:func:`repro.obs.clock.current_clock`), so
+tests drive it with a :class:`~repro.obs.clock.ManualClock` and never
+sleep for real.  Other statuses are returned immediately: only
+pushback is a promise that retrying can help.
 """
 
 from __future__ import annotations
@@ -21,7 +30,13 @@ import urllib.request
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-__all__ = ["ServiceClient", "ServiceResponse"]
+from ..obs.clock import current_clock
+from ..robustness import RetryPolicy
+
+__all__ = ["RETRY_STATUSES", "ServiceClient", "ServiceResponse"]
+
+#: response statuses the retry policy treats as server pushback
+RETRY_STATUSES = (429, 503)
 
 
 @dataclass(frozen=True)
@@ -58,13 +73,49 @@ class ServiceClient:
         port: int = 8080,
         tenant: str | None = None,
         timeout_s: float = 30.0,
+        retry: RetryPolicy | None = None,
     ):
         self.base = f"http://{host}:{port}"
         self.tenant = tenant
         self.timeout_s = timeout_s
+        #: when set, 429/503 responses are retried (bounded by
+        #: ``retry.max_attempts``), honouring ``Retry-After``
+        self.retry = retry
 
     # -- transport -----------------------------------------------------
     def request(
+        self,
+        method: str,
+        path: str,
+        body: Mapping[str, Any] | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> ServiceResponse:
+        """One logical request: a single exchange, plus the bounded
+        pushback-retry loop when a :class:`RetryPolicy` is set.
+
+        The wait before retry *k* is the larger of the server's
+        ``Retry-After`` and the policy's backoff for *k* -- the server
+        knows how loaded it is, the policy knows how patient the
+        caller can afford to be.
+        """
+        response = self._send(method, path, body, headers)
+        if self.retry is None:
+            return response
+        retry_index = 0
+        while (
+            response.status in RETRY_STATUSES
+            and retry_index < self.retry.max_attempts - 1
+        ):
+            delay = self.retry.delay_s(retry_index, key=path)
+            if response.retry_after_s is not None:
+                delay = max(delay, response.retry_after_s)
+            if delay > 0:
+                current_clock().sleep(delay)
+            retry_index += 1
+            response = self._send(method, path, body, headers)
+        return response
+
+    def _send(
         self,
         method: str,
         path: str,

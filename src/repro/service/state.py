@@ -61,7 +61,7 @@ from ..robustness import (
     CancellationToken,
     CircuitBreakerBoard,
 )
-from ..storage import StorageBackend, open_backend
+from ..storage import StorageBackend, default_quorums, open_backend
 from .quota import QuotaRegistry, QuotaSpec
 
 __all__ = [
@@ -127,6 +127,15 @@ class ServiceConfig:
     drain_timeout_s: float = 10.0
     #: ``Retry-After`` seconds reported on shed / draining responses
     retry_after_s: float = 1.0
+    #: storage replica count; ``> 1`` opens a quorum-replicated
+    #: backend (one subdirectory per replica under ``journal_dir``,
+    #: or N in-memory replicas for ``--storage memory``)
+    replicas: int = 1
+    #: write quorum W (default: a majority of ``replicas``)
+    write_quorum: int | None = None
+    #: read quorum R (default: ``replicas - W + 1``, the smallest
+    #: read set that still overlaps every write set)
+    read_quorum: int | None = None
 
     def __post_init__(self) -> None:
         if self.storage not in STORAGE_KINDS:
@@ -173,6 +182,45 @@ class ServiceConfig:
             object.__setattr__(
                 self, "journal_dir", Path(self.journal_dir)
             )
+        if self.replicas < 1:
+            raise ConfigurationError(
+                f"replicas must be >= 1, got {self.replicas}"
+            )
+        if self.replicas == 1 and (
+            self.write_quorum is not None
+            or self.read_quorum is not None
+        ):
+            raise ConfigurationError(
+                "write/read quorums need --replicas > 1"
+            )
+        if self.replicas > 1:
+            if self.resolved_storage == "none":
+                raise ConfigurationError(
+                    "--replicas > 1 needs a storage backend "
+                    "(--journal-dir or --storage memory)"
+                )
+            write_quorum, read_quorum = default_quorums(self.replicas)
+            if self.write_quorum is not None:
+                write_quorum = self.write_quorum
+            if self.read_quorum is not None:
+                read_quorum = self.read_quorum
+            if not 1 <= write_quorum <= self.replicas:
+                raise ConfigurationError(
+                    f"write quorum must be in [1, {self.replicas}], "
+                    f"got {write_quorum}"
+                )
+            if not 1 <= read_quorum <= self.replicas:
+                raise ConfigurationError(
+                    f"read quorum must be in [1, {self.replicas}], "
+                    f"got {read_quorum}"
+                )
+            if write_quorum + read_quorum <= self.replicas:
+                raise ConfigurationError(
+                    f"quorums must overlap: W + R > N requires "
+                    f"{write_quorum} + {read_quorum} > {self.replicas}"
+                )
+            object.__setattr__(self, "write_quorum", write_quorum)
+            object.__setattr__(self, "read_quorum", read_quorum)
 
     @property
     def resolved_storage(self) -> str:
@@ -296,7 +344,12 @@ class ServiceState:
             if config.journal_dir is not None:
                 config.journal_dir.mkdir(parents=True, exist_ok=True)
             self.backend = open_backend(
-                kind, root=config.journal_dir, metrics=self.metrics
+                kind,
+                root=config.journal_dir,
+                metrics=self.metrics,
+                replicas=config.replicas,
+                write_quorum=config.write_quorum,
+                read_quorum=config.read_quorum,
             )
             # storage-level recovery runs before anything reads the
             # directory: stray temp files are quarantined and a corrupt
@@ -590,8 +643,8 @@ class ServiceState:
         stored = self._stored_result(request_id)
         if stored is not None:
             return stored
-        if self.backend is not None and self.backend.io.exists(
-            self.backend.path_of(self._manifest_name(request_id))
+        if self.backend is not None and self.backend.exists(
+            self._manifest_name(request_id)
         ):
             raise ServiceError(
                 f"batch {request_id} is journaled but not finished -- "
@@ -685,8 +738,8 @@ class ServiceState:
             ".request.json"
         ):
             request_id = manifest_name[: -len(".request.json")]
-            if self.backend.io.exists(
-                self.backend.path_of(self._result_name(request_id))
+            if self.backend.exists(
+                self._result_name(request_id)
             ):
                 continue
             try:
@@ -787,10 +840,23 @@ class ServiceState:
 
     def ready_document(self) -> tuple[bool, dict]:
         open_sites = self.breakers.open_sites()
+        # a replicated backend reports per-replica health: a single
+        # degraded replica keeps the service ready (quorum still
+        # holds) but is surfaced here; losing quorum flips /readyz
+        replica_health = (
+            self.backend.health()
+            if self.backend is not None
+            and hasattr(self.backend, "health")
+            else None
+        )
+        quorum_ok = (
+            replica_health is None or bool(replica_health["quorum_ok"])
+        )
         ready = (
             self.ready.is_set()
             and not self.draining
             and not open_sites
+            and quorum_ok
         )
         status = "ready"
         if not self.ready.is_set():
@@ -799,6 +865,10 @@ class ServiceState:
             status = "draining"
         elif open_sites:
             status = "breaker-open"
+        elif not quorum_ok:
+            status = "quorum-lost"
+        elif replica_health is not None and replica_health["degraded"]:
+            status = "degraded"
         document = {
             "status": status,
             "draining": self.draining,
@@ -809,6 +879,8 @@ class ServiceState:
                 else {"kind": "none"}
             ),
         }
+        if replica_health is not None:
+            document["replicas"] = replica_health
         if self.storage_recovery is not None and (
             self.storage_recovery.quarantined
             or self.storage_recovery.repaired

@@ -29,6 +29,7 @@ Three layers, bottom up:
 from .backend import (
     LocalDirBackend,
     MemoryBackend,
+    QUARANTINE_KEEP,
     RecoveryReport,
     SNAPSHOT_KEEP,
     StorageBackend,
@@ -46,8 +47,18 @@ from .crashsim import (
     materialize,
 )
 from .io import LocalIO, MemoryIO, StorageIO
+from .remote import RemoteIO, ReplicaTransport
+from .replicated import (
+    AntiEntropyReport,
+    ReplicatedBackend,
+    ReplicatedJournal,
+    ReplicatedRecoveryReport,
+    build_replicated_backend,
+    default_quorums,
+)
 
 __all__ = [
+    "AntiEntropyReport",
     "CrashSim",
     "LocalDirBackend",
     "LocalIO",
@@ -55,13 +66,21 @@ __all__ = [
     "MemoryIO",
     "Op",
     "OpLog",
+    "QUARANTINE_KEEP",
     "RecoveryReport",
+    "RemoteIO",
+    "ReplicaTransport",
+    "ReplicatedBackend",
+    "ReplicatedJournal",
+    "ReplicatedRecoveryReport",
     "SNAPSHOT_KEEP",
     "SimIO",
     "StorageBackend",
     "StorageIO",
     "atomic_write_json",
     "atomic_write_text",
+    "build_replicated_backend",
+    "default_quorums",
     "enumerate_crash_states",
     "journal_commit_horizon",
     "materialize",

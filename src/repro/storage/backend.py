@@ -51,6 +51,7 @@ from .io import LocalIO, MemoryIO, StorageIO
 __all__ = [
     "LocalDirBackend",
     "MemoryBackend",
+    "QUARANTINE_KEEP",
     "RecoveryReport",
     "SNAPSHOT_FORMAT",
     "SNAPSHOT_KEEP",
@@ -65,6 +66,10 @@ SNAPSHOT_VERSION = 1
 
 #: Generations kept per snapshot family; older ones are pruned.
 SNAPSHOT_KEEP = 3
+
+#: Quarantined artifacts kept per backend; recovery evidence past this
+#: is pruned oldest-first (counted by ``storage.quarantine.pruned``).
+QUARANTINE_KEEP = 32
 
 _SNAPSHOT_RE = re.compile(
     r"^(?P<family>[A-Za-z0-9_-]+)\.gen-(?P<gen>\d+)\.snap\.json$"
@@ -163,10 +168,17 @@ class StorageBackend:
         root: Path,
         io: StorageIO,
         metrics: MetricsRegistry | None = None,
+        quarantine_keep: int | None = QUARANTINE_KEEP,
     ):
         self.root = Path(root)
         self.io = io
         self.metrics = metrics
+        #: retained quarantine entries (``None`` disables pruning)
+        self.quarantine_keep = quarantine_keep
+        #: quarantine names in the order this process created them;
+        #: entries found on disk but not listed here (a previous run's)
+        #: are treated as oldest
+        self._quarantine_order: list[str] = []
         io.mkdir(self.root)
 
     # -- metrics -------------------------------------------------------
@@ -222,6 +234,10 @@ class StorageBackend:
 
     def delete_document(self, name: str) -> None:
         self.io.unlink(self.path_of(name))
+
+    def exists(self, name: str) -> bool:
+        """Whether the named artifact is present in this backend."""
+        return self.io.exists(self.path_of(name))
 
     def list_documents(self, suffix: str = ".json") -> list[str]:
         return sorted(
@@ -320,10 +336,13 @@ class StorageBackend:
     def quarantine(self, name: str) -> str | None:
         """Move *name* into ``quarantine/``; the quarantined name.
 
-        Never deletes: a corrupt durability artifact is evidence of a
-        disk or crash problem, and an operator may want it.  Returns
-        ``None`` when the file vanished or cannot be moved (in which
-        case it is unlinked as a last resort so recovery still
+        A corrupt durability artifact is evidence of a disk or crash
+        problem, so it is retained rather than deleted -- up to
+        ``quarantine_keep`` entries, after which the *oldest* evidence
+        is pruned (counted by ``storage.quarantine.pruned``) so a
+        crash-looping deployment cannot fill the disk with it.
+        Returns ``None`` when the file vanished or cannot be moved (in
+        which case it is unlinked as a last resort so recovery still
         converges).
         """
         source = self.path_of(name)
@@ -343,7 +362,35 @@ class StorageBackend:
             self._count("storage.recovery.quarantine_failed")
             return None
         self._count("storage.recovery.quarantined")
+        self._quarantine_order.append(target.name)
+        self._prune_quarantine()
         return target.name
+
+    def _prune_quarantine(self) -> None:
+        """Drop the oldest quarantined evidence past ``quarantine_keep``.
+
+        Entries this process quarantined age in creation order; ones
+        inherited from an earlier run (present on disk, not in the
+        in-memory order) are considered older still, by sorted name.
+        """
+        if self.quarantine_keep is None:
+            return
+        qdir = self._quarantine_dir()
+        if not self.io.exists(qdir):
+            return
+        present = self.io.listdir(qdir)
+        excess = len(present) - self.quarantine_keep
+        if excess <= 0:
+            return
+        known = [n for n in self._quarantine_order if n in set(present)]
+        inherited = sorted(set(present) - set(known))
+        for victim in (inherited + known)[:excess]:
+            self.io.unlink(qdir / victim)
+            self._count("storage.quarantine.pruned")
+        self._quarantine_order = [
+            n for n in self._quarantine_order
+            if n not in set((inherited + known)[:excess])
+        ]
 
     def recover(self) -> RecoveryReport:
         """The pre-ready recovery scan.
@@ -432,9 +479,13 @@ class LocalDirBackend(StorageBackend):
         root: Path,
         metrics: MetricsRegistry | None = None,
         io: StorageIO | None = None,
+        quarantine_keep: int | None = QUARANTINE_KEEP,
     ):
         super().__init__(
-            root, io if io is not None else LocalIO(), metrics
+            root,
+            io if io is not None else LocalIO(),
+            metrics,
+            quarantine_keep=quarantine_keep,
         )
 
 
@@ -450,21 +501,48 @@ class MemoryBackend(StorageBackend):
 
     kind = "memory"
 
-    def __init__(self, metrics: MetricsRegistry | None = None):
-        super().__init__(Path("/memory"), MemoryIO(), metrics)
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        quarantine_keep: int | None = QUARANTINE_KEEP,
+    ):
+        super().__init__(
+            Path("/memory"),
+            MemoryIO(),
+            metrics,
+            quarantine_keep=quarantine_keep,
+        )
 
 
 def open_backend(
     kind: str,
     root: Path | None = None,
     metrics: MetricsRegistry | None = None,
+    replicas: int = 1,
+    write_quorum: int | None = None,
+    read_quorum: int | None = None,
 ) -> StorageBackend:
     """Construct the backend selected by ``--storage``.
 
     ``local`` needs *root* (the journal directory); ``memory`` ignores
-    it.  Unknown kinds raise :class:`~repro.errors.StorageError` so a
-    typo'd ``--storage`` fails at startup, not at first write.
+    it.  ``replicas > 1`` wraps the chosen kind in a
+    :class:`~repro.storage.replicated.ReplicatedBackend`: N child
+    backends (``<root>/replica-<i>/`` directories, or N private
+    in-memory file tables) behind one quorum coordinator.  Unknown
+    kinds raise :class:`~repro.errors.StorageError` so a typo'd
+    ``--storage`` fails at startup, not at first write.
     """
+    if replicas > 1:
+        from .replicated import build_replicated_backend
+
+        return build_replicated_backend(
+            kind,
+            root=root,
+            metrics=metrics,
+            replicas=replicas,
+            write_quorum=write_quorum,
+            read_quorum=read_quorum,
+        )
     if kind == "memory":
         return MemoryBackend(metrics=metrics)
     if kind == "local":

@@ -1,0 +1,611 @@
+"""Jepsen-style nemesis + consistency checker for replicated storage.
+
+:func:`run_nemesis` drives the acceptance proof of the replication
+layer, one seed at a time:
+
+1. stand up a 3-replica (by default) :class:`~repro.storage.
+   replicated.ReplicatedBackend` whose children run on the crashsim's
+   recording :class:`~repro.storage.crashsim.SimIO`, so every byte
+   each replica applies is observable;
+2. run a journaled ``workers=4`` why-not batch (the same chain
+   workload the crash-state harness uses) while a seeded **nemesis**
+   injects partitions and replica kills on an operation-count schedule
+   and a seeded :class:`~repro.robustness.faults.FaultPlan` drops,
+   delays, and duplicates individual deliveries through the
+   :data:`~repro.robustness.faults.NET_FAULT_SITES`;
+3. record the coordinator's ground truth -- which journal appends and
+   document writes reached write quorum and were acknowledged, and
+   which failed;
+4. heal every link, run a full anti-entropy pass, and **check**, from
+   the per-replica files and op logs:
+
+   * no quorum-acknowledged journal record or document is lost -- every
+     acked artifact is present, byte-for-byte, on *every* replica;
+   * no un-acknowledged write survives repair -- a partial append the
+     caller saw fail never resurrects into the namespace;
+   * the replicas converge **byte-identical** (quarantined evidence,
+     which is deliberately replica-local, excluded);
+   * a quorum resume replays every acknowledged outcome verbatim;
+   * a second anti-entropy pass is a no-op (repair is idempotent).
+
+Every decision is deterministic from the seed (the batch runs under a
+:class:`~repro.obs.clock.ManualClock`, so even the simulated network
+delays cost no wall time), which is what lets CI run ≥25 seeds and a
+red seed reproduce locally with plain pytest.
+
+CLI::
+
+    python -m repro.storage.nemesis --seeds 25 --workers 4 \
+        --artifact-dir nemesis-artifacts
+
+writes per-replica journals and op logs for every failing seed and
+exits nonzero if any seed violates an invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import QuorumError, StorageError
+from ..obs.clock import ManualClock, use_clock
+from ..robustness.breaker import CircuitBreakerBoard
+from ..robustness.faults import FaultPlan, FaultSpec, inject
+from .backend import StorageBackend
+from .crashsim import SimIO
+from .remote import RemoteIO, ReplicaTransport
+from .replicated import ReplicatedBackend, _parse_envelope
+
+__all__ = [
+    "Nemesis",
+    "NemesisEvent",
+    "NemesisResult",
+    "nemesis_schedule",
+    "run_nemesis",
+]
+
+#: The journaled batch the nemesis fires at: the chain workload the
+#: crash-state harness established, with enough questions to keep a
+#: 4-worker pool busy.
+QUESTIONS = [
+    "(R0.label: needle)",
+    "(R0.label: r0v1)",
+    "(R1.label: r1v2)",
+    "(R1.label: ghost)",
+    "(R2.label: r2v3)",
+]
+
+JOURNAL_NAME = "batch.journal.jsonl"
+REQUEST_DOC = "batch.request.json"
+RESULT_DOC = "batch.result.json"
+
+
+@dataclass(frozen=True)
+class NemesisEvent:
+    """One scheduled attack: at the *at_op*-th transport delivery
+    (cluster-wide), apply *action* to *replica* for *duration* further
+    deliveries, then heal/restart it."""
+
+    at_op: int
+    action: str  # "partition" | "kill"
+    replica: str
+    duration: int
+
+    def to_dict(self) -> dict:
+        return {
+            "at_op": self.at_op,
+            "action": self.action,
+            "replica": self.replica,
+            "duration": self.duration,
+        }
+
+
+def nemesis_schedule(
+    seed: int, replica_ids: list[str], events: int = 3
+) -> list[NemesisEvent]:
+    """The seeded attack schedule: sticky windows, one replica at a
+    time.
+
+    Windows never overlap, so at most one replica is partitioned or
+    dead at any moment and a W=2/N=3 quorum stays satisfiable -- the
+    batch is expected to *complete* while degraded, which is the
+    property under test.  (Quorum-losing schedules are exercised
+    separately: the transient drop faults can still co-fire inside a
+    window and fail an individual append.)
+    """
+    rng = random.Random(f"nemesis:{seed}")
+    schedule: list[NemesisEvent] = []
+    cursor = rng.randrange(5, 40)
+    for _ in range(events):
+        duration = rng.randrange(30, 150)
+        schedule.append(
+            NemesisEvent(
+                at_op=cursor,
+                action=rng.choice(("partition", "kill")),
+                replica=rng.choice(replica_ids),
+                duration=duration,
+            )
+        )
+        cursor += duration + rng.randrange(10, 80)
+    return schedule
+
+
+def transient_plan(seed: int) -> FaultPlan:
+    """Seeded one-shot network faults (drops, delays, duplicates)
+    layered on top of the sticky nemesis windows."""
+    rng = random.Random(f"nemesis-net:{seed}")
+    specs = []
+    for site in ("net.drop", "net.delay", "net.dup"):
+        for _ in range(rng.randrange(1, 3)):
+            specs.append(
+                FaultSpec(
+                    site, at_call=rng.randrange(400), kind="error"
+                )
+            )
+    return FaultPlan(specs, seed=seed)
+
+
+class Nemesis:
+    """Applies the schedule as the cluster's operation count advances.
+
+    Installed as the transports' ``observer``: every delivery (to any
+    replica) ticks the global op clock, activates due events, and
+    heals expired ones.  Thread-safe -- the workers of a parallel
+    batch deliver concurrently.
+    """
+
+    def __init__(
+        self,
+        schedule: list[NemesisEvent],
+        transports: dict[str, ReplicaTransport] | None = None,
+    ):
+        self.transports = dict(transports or {})
+        self._pending = sorted(schedule, key=lambda e: e.at_op)
+        self._active: list[tuple[int, NemesisEvent]] = []
+        self.applied: list[NemesisEvent] = []
+        self.ops = 0
+        self._lock = threading.Lock()
+
+    def observe(self, _replica_id: str) -> None:
+        with self._lock:
+            self.ops += 1
+            now = self.ops
+            for end, event in list(self._active):
+                if now >= end:
+                    self._heal(event)
+                    self._active.remove((end, event))
+            while self._pending and self._pending[0].at_op <= now:
+                event = self._pending.pop(0)
+                transport = self.transports.get(event.replica)
+                if transport is None:
+                    continue
+                if event.action == "partition":
+                    transport.partition()
+                else:
+                    transport.kill()
+                self.applied.append(event)
+                self._active.append((now + event.duration, event))
+
+    def _heal(self, event: NemesisEvent) -> None:
+        transport = self.transports.get(event.replica)
+        if transport is None:
+            return
+        if event.action == "partition":
+            transport.heal()
+        else:
+            transport.restart()
+
+    def heal_all(self) -> None:
+        with self._lock:
+            self._active.clear()
+            self._pending.clear()
+            for transport in self.transports.values():
+                transport.heal()
+                transport.restart()
+
+
+@dataclass
+class NemesisResult:
+    """Everything one seed produced, checked and explainable."""
+
+    seed: int
+    events: list[NemesisEvent]
+    violations: list[str]
+    acked_indexes: list[int]
+    unacked_indexes: list[int]
+    batch_error: str | None
+    repair: dict
+    repair_second: dict
+    #: replica id -> final journal file text (artifact on failure)
+    journals: dict[str, str] = field(default_factory=dict)
+    #: replica id -> transport delivery log (op, status)
+    op_logs: dict[str, list[tuple[str, str]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "events": [e.to_dict() for e in self.events],
+            "violations": list(self.violations),
+            "acked_indexes": list(self.acked_indexes),
+            "unacked_indexes": list(self.unacked_indexes),
+            "batch_error": self.batch_error,
+            "repair": self.repair,
+            "repair_second": self.repair_second,
+        }
+
+
+def _build_cluster(
+    replicas: int,
+    write_quorum: int,
+    read_quorum: int,
+    observer,
+) -> tuple[ReplicatedBackend, list[SimIO]]:
+    children: list[StorageBackend] = []
+    transports: list[ReplicaTransport] = []
+    sims: list[SimIO] = []
+    for index in range(replicas):
+        transport = ReplicaTransport(str(index), observer=observer)
+        sim = SimIO()
+        child = StorageBackend(
+            Path(f"/replica-{index}"), RemoteIO(sim, transport)
+        )
+        child.kind = "sim"
+        children.append(child)
+        transports.append(transport)
+        sims.append(sim)
+    backend = ReplicatedBackend(
+        children,
+        transports,
+        write_quorum=write_quorum,
+        read_quorum=read_quorum,
+        root=Path("/nemesis"),
+        # zero cooldown: an opened breaker immediately half-opens, so a
+        # healed replica is probed (and rejoins) on the next delivery
+        breakers=CircuitBreakerBoard(min_calls=2, cooldown_s=0.0),
+    )
+    return backend, sims
+
+
+def _replica_files(sim: SimIO, index: int) -> dict[str, str]:
+    """The replica's live file table, root prefix stripped and
+    quarantined evidence (deliberately replica-local) excluded."""
+    prefix = f"/replica-{index}"
+    out = {}
+    for path, text in sim.snapshot_files().items():
+        if not path.startswith(prefix):
+            continue
+        rel = path[len(prefix):]
+        if rel.startswith("/quarantine/"):
+            continue
+        out[rel] = text
+    return out
+
+
+def run_nemesis(
+    seed: int,
+    replicas: int = 3,
+    write_quorum: int = 2,
+    read_quorum: int = 2,
+    workers: int = 4,
+    events: int = 3,
+) -> NemesisResult:
+    """One seeded nemesis run: attack, heal, repair, verify."""
+    from ..core import NedExplain, canonicalize
+    from ..relational import EvaluationCache
+    from ..workloads.generator import chain_database, chain_query
+
+    database = chain_database(3, rows_per_relation=12)
+    canonical = canonicalize(chain_query(3), database.schema)
+
+    replica_ids = [str(i) for i in range(replicas)]
+    schedule = nemesis_schedule(seed, replica_ids, events=events)
+    nemesis = Nemesis(schedule)
+    backend, sims = _build_cluster(
+        replicas, write_quorum, read_quorum, nemesis.observe
+    )
+    nemesis.transports = {
+        t.replica_id: t for t in backend.transports
+    }
+
+    batch_error: str | None = None
+    engine = NedExplain(
+        canonical, database=database, cache=EvaluationCache()
+    )
+    journal = backend.journal(JOURNAL_NAME)
+    with use_clock(ManualClock()):
+        with inject(transient_plan(seed)):
+            try:
+                backend.write_document(
+                    REQUEST_DOC,
+                    {"questions": QUESTIONS, "seed": seed},
+                )
+            except (QuorumError, StorageError) as exc:
+                batch_error = f"request write: {exc}"
+            try:
+                outcomes = engine.explain_each(
+                    QUESTIONS, journal=journal, workers=workers
+                )
+                backend.write_document(
+                    RESULT_DOC,
+                    {
+                        "seed": seed,
+                        "levels": [
+                            o.degradation_level for o in outcomes
+                        ],
+                    },
+                )
+                backend.write_snapshot(
+                    "batch", {"seed": seed, "questions": len(QUESTIONS)}
+                )
+            except Exception as exc:  # quorum loss aborts the batch
+                batch_error = f"{type(exc).__name__}: {exc}"
+
+    acked_records = {
+        index: journal.loaded_records()[index]
+        for index in journal.acked_indexes
+    }
+    unacked = {
+        index: copies
+        for index, copies in journal.ack_copies.items()
+        if index not in journal.acked_indexes
+    }
+    acked_documents = dict(backend.acked_documents)
+    journal.close()
+
+    nemesis.heal_all()
+    # pre-repair copy counts decide the fate of un-acked records: an
+    # append the caller saw fail is *indeterminate* -- if it still
+    # reached W durable copies it is committed and must converge
+    # everywhere; below W it must be rolled back everywhere
+    journal_rel = f"/{JOURNAL_NAME}"
+    pre_copies: dict[int, int] = {}
+    for index_, sim in enumerate(sims):
+        table = _replica_files(sim, index_)
+        for rec_index in ReplicatedBackend._parse_journal_text(
+            table.get(journal_rel, "")
+        ):
+            pre_copies[rec_index] = pre_copies.get(rec_index, 0) + 1
+
+    # heal through the real entrypoint: per-replica recovery first
+    # (stranded *.tmp files from dropped renames are quarantined),
+    # then the full anti-entropy reconciliation
+    recovery = backend.recover()
+    repair = recovery.anti_entropy
+    violations: list[str] = []
+    if repair is None or not repair.full:
+        violations.append(
+            "anti-entropy after heal_all was not a full pass"
+        )
+        repair = repair or backend.anti_entropy()
+
+    # -- invariants over the per-replica files -------------------------
+    tables = [
+        _replica_files(sim, index) for index, sim in enumerate(sims)
+    ]
+    parsed = [
+        ReplicatedBackend._parse_journal_text(
+            table.get(journal_rel, "")
+        )
+        for table in tables
+    ]
+    for index, record in sorted(acked_records.items()):
+        for rid, records in enumerate(parsed):
+            held = records.get(index)
+            if held is None:
+                violations.append(
+                    f"acked record {index} missing from replica "
+                    f"{rid} after repair"
+                )
+            elif held[1]["checksum"] != record["checksum"]:
+                violations.append(
+                    f"acked record {index} diverged on replica {rid}"
+                )
+    for index in sorted(unacked):
+        survivors = [
+            rid
+            for rid, records in enumerate(parsed)
+            if index in records
+        ]
+        if pre_copies.get(index, 0) >= write_quorum:
+            # indeterminate append that did commit: must be everywhere
+            if len(survivors) != replicas:
+                violations.append(
+                    f"indeterminate record {index} reached quorum "
+                    f"but is only on replicas {survivors} after "
+                    "repair"
+                )
+        elif survivors:
+            violations.append(
+                f"un-acked sub-quorum record {index} survives on "
+                f"replicas {survivors} after repair"
+            )
+    for rid, records in enumerate(parsed):
+        for index in records:
+            if index not in acked_records and index not in unacked:
+                violations.append(
+                    f"record {index} on replica {rid} was never "
+                    "written by this run"
+                )
+    for name, seq in sorted(acked_documents.items()):
+        for rid, table in enumerate(tables):
+            raw = table.get(f"/{name}")
+            envelope = None
+            if raw is not None:
+                try:
+                    envelope = _parse_envelope(
+                        json.loads(raw), name
+                    )
+                except json.JSONDecodeError:
+                    envelope = None
+            if envelope is None:
+                violations.append(
+                    f"acked document {name} missing/corrupt on "
+                    f"replica {rid} after repair"
+                )
+            elif envelope[0] < seq:
+                # a higher sequence is legal (an indeterminate later
+                # write that still reached W durable copies commits);
+                # anything below the acked sequence is a lost write
+                violations.append(
+                    f"acked document {name} regressed to seq "
+                    f"{envelope[0]} on replica {rid} (acked seq "
+                    f"{seq})"
+                )
+    first = tables[0]
+    for rid, table in enumerate(tables[1:], start=1):
+        if table != first:
+            only_first = sorted(set(first) - set(table))
+            only_other = sorted(set(table) - set(first))
+            diff = sorted(
+                k
+                for k in set(first) & set(table)
+                if first[k] != table[k]
+            )
+            violations.append(
+                f"replica {rid} not byte-identical to replica 0 "
+                f"after repair (only-0={only_first}, "
+                f"only-{rid}={only_other}, differ={diff})"
+            )
+
+    # -- the resumed batch replays every acked outcome verbatim --------
+    try:
+        resumed = backend.journal(JOURNAL_NAME, resume=True)
+        for index, record in sorted(acked_records.items()):
+            replayed = resumed.completed(
+                index, record["question"]
+            )
+            if replayed != record["outcome"]:
+                violations.append(
+                    f"resume replays a different outcome at index "
+                    f"{index}"
+                )
+        resumed.close()
+    except Exception as exc:
+        violations.append(f"resume failed after repair: {exc}")
+
+    repair_second = backend.anti_entropy()
+    if repair_second.changes:
+        violations.append(
+            f"anti-entropy is not idempotent: second pass made "
+            f"{repair_second.changes} changes"
+        )
+
+    return NemesisResult(
+        seed=seed,
+        events=schedule,
+        violations=violations,
+        acked_indexes=sorted(acked_records),
+        unacked_indexes=sorted(unacked),
+        batch_error=batch_error,
+        repair=repair.to_dict(),
+        repair_second=repair_second.to_dict(),
+        journals={
+            str(i): table.get(journal_rel, "")
+            for i, table in enumerate(tables)
+        },
+        op_logs={
+            t.replica_id: list(t.ops) for t in backend.transports
+        },
+    )
+
+
+def _write_artifacts(result: NemesisResult, directory: Path) -> None:
+    target = directory / f"seed-{result.seed}"
+    target.mkdir(parents=True, exist_ok=True)
+    (target / "summary.json").write_text(
+        json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    for rid, text in result.journals.items():
+        (target / f"replica-{rid}.journal.jsonl").write_text(
+            text, encoding="utf-8"
+        )
+    for rid, ops in result.op_logs.items():
+        (target / f"replica-{rid}.oplog.jsonl").write_text(
+            "".join(
+                json.dumps({"op": op, "status": status}) + "\n"
+                for op, status in ops
+            ),
+            encoding="utf-8",
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.storage.nemesis",
+        description=(
+            "Jepsen-style consistency check of the replicated "
+            "storage backend across seeded network-fault schedules."
+        ),
+    )
+    parser.add_argument("--seeds", type=int, default=25)
+    parser.add_argument("--first-seed", type=int, default=0)
+    parser.add_argument("--replicas", type=int, default=3)
+    parser.add_argument("--write-quorum", type=int, default=2)
+    parser.add_argument("--read-quorum", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--artifact-dir", type=Path, default=None)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    summaries = []
+    for seed in range(args.first_seed, args.first_seed + args.seeds):
+        result = run_nemesis(
+            seed,
+            replicas=args.replicas,
+            write_quorum=args.write_quorum,
+            read_quorum=args.read_quorum,
+            workers=args.workers,
+        )
+        summaries.append(result.to_dict())
+        status = "ok" if result.ok else "FAIL"
+        if not args.json:
+            print(
+                f"seed {seed}: {status} "
+                f"(acked={len(result.acked_indexes)}"
+                f"/{len(QUESTIONS)}, "
+                f"events={len(result.events)}, "
+                f"repairs={result.repair['documents_repaired']}"
+                f"+{result.repair['journal_records_propagated']}j, "
+                f"batch_error={result.batch_error or 'none'})"
+            )
+        if not result.ok:
+            failures += 1
+            for violation in result.violations:
+                print(f"  violation: {violation}", file=sys.stderr)
+            if args.artifact_dir is not None:
+                _write_artifacts(result, args.artifact_dir)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "seeds": len(summaries),
+                    "failures": failures,
+                    "results": summaries,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    elif failures:
+        print(f"{failures} of {len(summaries)} seeds FAILED")
+    else:
+        print(f"all {len(summaries)} seeds ok")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,302 @@
+"""The network transport shim between a coordinator and one replica.
+
+The replicated backend (:mod:`repro.storage.replicated`) never touches
+a child backend's :class:`~repro.storage.io.StorageIO` directly: every
+primitive is wrapped in a :class:`RemoteIO`, which routes the call
+through a :class:`ReplicaTransport` -- the simulated network path to
+that replica.  The transport is where the network misbehaves, in the
+same deterministic, seed-driven way the disk does in
+:mod:`repro.storage.io`:
+
+* **one-shot faults** come from the ambient
+  :class:`~repro.robustness.faults.FaultPlan` through the
+  :data:`~repro.robustness.faults.NET_FAULT_SITES` sites --
+  ``net.drop`` loses exactly one delivery, ``net.delay`` holds one for
+  a deterministic pause on the injectable clock, ``net.dup`` applies a
+  write twice (a retransmitted but already-applied message);
+
+* **sticky faults** flip transport state and stay until healed --
+  ``net.partition`` cuts the link (the replica is alive but
+  unreachable), ``replica.down`` kills the replica process (requests
+  fail until :meth:`ReplicaTransport.restart`), ``replica.slow`` makes
+  every later delivery pay the delay.  The nemesis harness
+  (:mod:`repro.storage.nemesis`) drives the same switches directly on
+  an operation-count schedule.
+
+Faults fire on the *request path*: a dropped or partitioned delivery
+never reaches the child shim, so the operation either applies on the
+replica and is acknowledged, or does not apply at all.  (Ack-path loss
+-- applied but unacknowledged -- is modelled by ``net.dup``'s inverse:
+the coordinator treats a missing ack as a failed leg, and anti-entropy
+reconciles any replica the retransmission did land on.)
+
+Every delivery is observable: the transport keeps a bounded op log
+(``ops``) the Jepsen-style checker reads, calls an optional observer
+hook (how the nemesis counts global operations), and bumps ``net.*`` /
+``replica.*`` metric counters on the ambient tracer.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Callable
+
+from ..errors import InjectedFaultError, ReplicaUnavailableError
+from ..obs.clock import current_clock
+from ..obs.trace import metric_counter
+from ..robustness.faults import fault_point
+from .io import StorageIO
+
+__all__ = ["RemoteIO", "ReplicaTransport"]
+
+#: Simulated one-way latency a slow/delayed delivery pays, in seconds.
+#: Charged on the *injectable* clock, so a ManualClock test advances
+#: virtual time while the wall clock never waits.
+TRANSPORT_DELAY_S = 0.002
+
+#: Delivery records kept per transport (a ring, oldest dropped).
+OP_LOG_KEEP = 4096
+
+
+def _fires(site: str) -> bool:
+    """True when the active fault plan fires at *site* (consumed)."""
+    try:
+        fault_point(site)
+    except InjectedFaultError:
+        return True
+    return False
+
+
+class ReplicaTransport:
+    """The (simulated) network path from the coordinator to one replica.
+
+    Thread-safe: worker threads of a parallel batch deliver through one
+    transport.  Sticky state (``partitioned`` / ``down`` / ``slow``)
+    is mutated either by the fault sites or directly by the nemesis;
+    :meth:`heal` and :meth:`restart` are the operator's repair actions.
+    """
+
+    def __init__(
+        self,
+        replica_id: str,
+        delay_s: float = TRANSPORT_DELAY_S,
+        observer: Callable[[str], None] | None = None,
+    ):
+        self.replica_id = replica_id
+        self.delay_s = delay_s
+        #: called (with the replica id) at the start of every delivery,
+        #: before any fault decision -- the nemesis's operation clock
+        self.observer = observer
+        self._lock = threading.RLock()
+        self.partitioned = False
+        self.down = False
+        self.slow = False
+        self.delivered = 0
+        self.failed = 0
+        #: bounded delivery log: ``(op, "ok" | failure reason)``
+        self.ops: list[tuple[str, str]] = []
+
+    # -- nemesis / operator switches -----------------------------------
+    def partition(self) -> None:
+        with self._lock:
+            self.partitioned = True
+
+    def heal(self) -> None:
+        with self._lock:
+            self.partitioned = False
+            self.slow = False
+
+    def kill(self) -> None:
+        with self._lock:
+            self.down = True
+
+    def restart(self) -> None:
+        with self._lock:
+            self.down = False
+
+    @property
+    def reachable(self) -> bool:
+        with self._lock:
+            return not (self.partitioned or self.down)
+
+    # -- delivery ------------------------------------------------------
+    def _log(self, op: str, status: str) -> None:
+        with self._lock:
+            self.ops.append((op, status))
+            if len(self.ops) > OP_LOG_KEEP:
+                del self.ops[: len(self.ops) - OP_LOG_KEEP]
+            if status == "ok":
+                self.delivered += 1
+            else:
+                self.failed += 1
+
+    def _refuse(self, op: str, reason: str) -> ReplicaUnavailableError:
+        self._log(op, reason)
+        metric_counter(f"replica.unreachable.{self.replica_id}")
+        return ReplicaUnavailableError(
+            f"replica {self.replica_id} unreachable for {op} "
+            f"({reason})",
+            replica=self.replica_id,
+            reason=reason,
+        )
+
+    def deliver(self, op: str, fn, mutating: bool = False):
+        """Send one operation across the link and return its result.
+
+        Fault order mirrors a real request: the sticky link state is
+        consulted first (a partitioned or dead replica never sees the
+        message), then the one-shot drop, then the delay, then the
+        actual application -- and only a *mutating* operation can be
+        duplicated, because re-applying a read is invisible.
+        """
+        if self.observer is not None:
+            self.observer(self.replica_id)
+        # one-shot plan sites may flip the sticky switches first
+        if _fires("net.partition"):
+            self.partition()
+        if _fires("replica.down"):
+            self.kill()
+        if _fires("replica.slow"):
+            with self._lock:
+                self.slow = True
+        with self._lock:
+            down, partitioned, slow = (
+                self.down, self.partitioned, self.slow,
+            )
+        if down:
+            raise self._refuse(op, "down")
+        if partitioned:
+            raise self._refuse(op, "partitioned")
+        if _fires("net.drop"):
+            metric_counter("net.dropped")
+            raise self._refuse(op, "dropped")
+        if slow or _fires("net.delay"):
+            metric_counter("net.delayed")
+            current_clock().sleep(self.delay_s)
+        result = fn()
+        if mutating and _fires("net.dup"):
+            # a retransmission of an already-applied message: the
+            # operation lands twice.  Idempotent ops (mkdir, unlink)
+            # absorb it; a replica that rejects the replay (a rename
+            # whose source is gone) changes nothing -- the first
+            # application already succeeded and its ack stands.
+            metric_counter("net.duplicated")
+            try:
+                fn()
+            except Exception:
+                pass
+            self._log(op, "ok+dup")
+        else:
+            self._log(op, "ok")
+        return result
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "replica": self.replica_id,
+                "reachable": not (self.partitioned or self.down),
+                "partitioned": self.partitioned,
+                "down": self.down,
+                "slow": self.slow,
+                "delivered": self.delivered,
+                "failed": self.failed,
+            }
+
+    def __repr__(self) -> str:
+        state = "up" if self.reachable else "unreachable"
+        return f"ReplicaTransport({self.replica_id!r}, {state})"
+
+
+class RemoteIO(StorageIO):
+    """A :class:`StorageIO` that reaches its child through a transport.
+
+    Every primitive -- handle writes, fsyncs, renames, listings -- is
+    one delivery; a replica that is partitioned, down, or dropped by
+    the plan raises :class:`~repro.errors.ReplicaUnavailableError`
+    instead of touching the child.  Mutations are flagged so the
+    duplicate-delivery fault only replays operations a retransmission
+    could actually replay.
+    """
+
+    def __init__(self, child: StorageIO, transport: ReplicaTransport):
+        self.child = child
+        self.transport = transport
+
+    def _send(self, op: str, fn, mutating: bool = False):
+        return self.transport.deliver(op, fn, mutating=mutating)
+
+    # -- handles -------------------------------------------------------
+    def open(self, path: Path, mode: str):
+        # never dup-able: a duplicated open would orphan a handle
+        return self._send(
+            f"open:{path}", lambda: self.child.open(path, mode)
+        )
+
+    def write(self, handle, text: str) -> None:
+        # NOT dup-able: duplicating a stream write would tear the
+        # record framing; retransmission semantics live on the
+        # whole-file and rename ops
+        return self._send(
+            "write", lambda: self.child.write(handle, text)
+        )
+
+    def flush(self, handle) -> None:
+        return self._send("flush", lambda: self.child.flush(handle))
+
+    def fsync(self, handle) -> None:
+        return self._send("fsync", lambda: self.child.fsync(handle))
+
+    def close(self, handle) -> None:
+        # closing the local end of a stream never crosses the network
+        return self.child.close(handle)
+
+    def closed(self, handle) -> bool:
+        return self.child.closed(handle)
+
+    # -- whole files ---------------------------------------------------
+    def read_text(self, path: Path) -> str:
+        return self._send(
+            f"read:{path}", lambda: self.child.read_text(path)
+        )
+
+    def exists(self, path: Path) -> bool:
+        return self._send(
+            f"exists:{path}", lambda: self.child.exists(path)
+        )
+
+    def is_dir(self, path: Path) -> bool:
+        return self._send(
+            f"is_dir:{path}", lambda: self.child.is_dir(path)
+        )
+
+    def listdir(self, path: Path) -> list[str]:
+        return self._send(
+            f"listdir:{path}", lambda: self.child.listdir(path)
+        )
+
+    def mkdir(self, path: Path) -> None:
+        return self._send(
+            f"mkdir:{path}",
+            lambda: self.child.mkdir(path),
+            mutating=True,
+        )
+
+    def unlink(self, path: Path) -> None:
+        return self._send(
+            f"unlink:{path}",
+            lambda: self.child.unlink(path),
+            mutating=True,
+        )
+
+    def replace(self, src: Path, dst: Path) -> None:
+        return self._send(
+            f"replace:{dst}",
+            lambda: self.child.replace(src, dst),
+            mutating=True,
+        )
+
+    def fsync_dir(self, path: Path) -> None:
+        return self._send(
+            f"fsync_dir:{path}", lambda: self.child.fsync_dir(path)
+        )

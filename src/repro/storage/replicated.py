@@ -1,0 +1,1199 @@
+"""Quorum-replicated storage: N child backends behind one coordinator.
+
+A :class:`ReplicatedBackend` fans every document write, journal
+append, and snapshot out to N child backends, each reached through its
+own :class:`~repro.storage.remote.RemoteIO` transport, and applies
+classic leaderless-quorum rules (W + R > N):
+
+* **writes** carry a coordinator sequence number inside a checksummed
+  envelope and must be acknowledged by at least W replicas; fewer acks
+  raise :class:`~repro.errors.QuorumError` and the write is *not*
+  acknowledged to the caller (anti-entropy will roll the partial copies
+  back);
+* **reads** gather replies from every reachable replica and demand at
+  least R of them; the highest-sequence valid envelope wins, and any
+  read replica holding a stale, corrupt, or missing copy is
+  **read-repaired** with the winner on the spot;
+* **journals** (:class:`ReplicatedJournal`) append each record to
+  every open replica journal through the same transports, require W
+  fsynced acknowledgements per record, and on resume merge the valid
+  records of at least R replicas -- a record fsynced on one replica
+  but lost to a partition on another is still replayed;
+* **anti-entropy** (:meth:`ReplicatedBackend.anti_entropy`) reconciles
+  divergent replicas from their checksummed artifacts: documents and
+  snapshot generations present on at least W replicas are propagated
+  everywhere, partial (< W copies -- never acknowledged) writes are
+  rolled back once every replica is reachable, and journal files are
+  rewritten to a canonical byte-identical form.  The nemesis harness
+  (:mod:`repro.storage.nemesis`) asserts exactly these invariants.
+
+Failure of a single replica (partition, kill, slow link) therefore
+degrades to quorum-satisfied operation instead of an error; the
+service reports the degraded replica in ``/readyz`` via
+:meth:`ReplicatedBackend.health` and keeps serving.  Each replica has
+a circuit breaker (site ``replica.<id>``) so a dead replica stops
+costing a failed delivery per operation once its breaker opens.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+import threading
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping
+
+from ..errors import (
+    JournalError,
+    QuorumError,
+    ReplicaUnavailableError,
+    StorageError,
+)
+from ..obs import MetricsRegistry, span
+from ..robustness.breaker import CircuitBreakerBoard
+from ..robustness.journal import (
+    JOURNAL_VERSION,
+    _checksum as _record_checksum,
+    question_digest,
+    verify_record,
+)
+from .backend import (
+    RecoveryReport,
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_KEEP,
+    SNAPSHOT_VERSION,
+    StorageBackend,
+    _SNAPSHOT_RE,
+    _snapshot_checksum,
+    atomic_write_text,
+)
+from .io import LocalIO, MemoryIO, StorageIO
+from .remote import RemoteIO, ReplicaTransport
+
+__all__ = [
+    "AntiEntropyReport",
+    "DOC_FORMAT",
+    "ReplicatedBackend",
+    "ReplicatedJournal",
+    "ReplicatedRecoveryReport",
+    "build_replicated_backend",
+    "default_quorums",
+]
+
+#: Format tag of the replicated document envelope.
+DOC_FORMAT = "repro.storage.replicated-doc"
+DOC_VERSION = 1
+
+
+def default_quorums(replicas: int) -> tuple[int, int]:
+    """The (W, R) pair used when the flags leave them unset: a write
+    majority, and the smallest read quorum that still overlaps it."""
+    write_quorum = replicas // 2 + 1
+    return write_quorum, replicas - write_quorum + 1
+
+
+def _envelope_checksum(envelope: Mapping[str, Any]) -> str:
+    canonical = json.dumps(
+        {k: v for k, v in envelope.items() if k != "checksum"},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _make_envelope(name: str, seq: int, document: Mapping[str, Any]) -> dict:
+    envelope: dict[str, Any] = {
+        "format": DOC_FORMAT,
+        "v": DOC_VERSION,
+        "name": name,
+        "seq": seq,
+        "document": dict(document),
+    }
+    envelope["checksum"] = _envelope_checksum(envelope)
+    return envelope
+
+
+def _parse_envelope(raw: Any, name: str) -> tuple[int, str, dict] | None:
+    """``(seq, checksum, envelope)`` when *raw* is a valid envelope for
+    *name*; a bare (pre-replication) document is wrapped as sequence 0
+    so it can be read -- and repaired over -- rather than rejected."""
+    if not isinstance(raw, dict):
+        return None
+    if raw.get("format") != DOC_FORMAT:
+        legacy = _make_envelope(name, 0, raw)
+        return 0, legacy["checksum"], legacy
+    if (
+        raw.get("name") != name
+        or not isinstance(raw.get("seq"), int)
+        or not isinstance(raw.get("document"), dict)
+        or raw.get("checksum") != _envelope_checksum(raw)
+    ):
+        return None
+    return int(raw["seq"]), str(raw["checksum"]), dict(raw)
+
+
+class AntiEntropyReport:
+    """What one anti-entropy pass reconciled."""
+
+    def __init__(self, replicas: list[str], full: bool):
+        #: replica ids that were reachable for this pass
+        self.replicas = list(replicas)
+        #: True when *every* replica was reachable -- only a full pass
+        #: may roll back partial (never-acknowledged) writes
+        self.full = full
+        self.documents_checked = 0
+        self.documents_repaired = 0
+        self.documents_rolled_back = 0
+        self.journal_records_propagated = 0
+        self.journal_records_dropped = 0
+        self.journals_rewritten = 0
+        self.snapshots_propagated = 0
+        self.snapshots_pruned = 0
+
+    @property
+    def changes(self) -> int:
+        return (
+            self.documents_repaired
+            + self.documents_rolled_back
+            + self.journal_records_propagated
+            + self.journal_records_dropped
+            + self.snapshots_propagated
+            + self.snapshots_pruned
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "replicas": list(self.replicas),
+            "full": self.full,
+            "documents_checked": self.documents_checked,
+            "documents_repaired": self.documents_repaired,
+            "documents_rolled_back": self.documents_rolled_back,
+            "journal_records_propagated": self.journal_records_propagated,
+            "journal_records_dropped": self.journal_records_dropped,
+            "journals_rewritten": self.journals_rewritten,
+            "snapshots_propagated": self.snapshots_propagated,
+            "snapshots_pruned": self.snapshots_pruned,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AntiEntropyReport(full={self.full}, "
+            f"changes={self.changes})"
+        )
+
+
+class ReplicatedRecoveryReport(RecoveryReport):
+    """Per-replica recovery merged with the anti-entropy outcome."""
+
+    def __init__(self):
+        super().__init__()
+        #: replica ids skipped because they were unreachable
+        self.skipped: list[str] = []
+        self.anti_entropy: AntiEntropyReport | None = None
+
+    def to_dict(self) -> dict:
+        out = super().to_dict()
+        out["skipped_replicas"] = list(self.skipped)
+        out["anti_entropy"] = (
+            self.anti_entropy.to_dict()
+            if self.anti_entropy is not None
+            else None
+        )
+        return out
+
+
+class ReplicatedJournal:
+    """The :class:`~repro.robustness.journal.BatchJournal` surface over
+    one journal name on every replica.
+
+    Appends go to each replica whose journal is open (replicas that
+    were unreachable at construction are re-opened lazily once their
+    transport heals); a record counts as committed only when at least
+    W replicas durably acknowledged it.  A sub-quorum append raises
+    :class:`~repro.errors.JournalError` -- the partial copies it may
+    have landed are exactly what a *full* anti-entropy pass rolls
+    back, because the caller was never told the record committed.
+
+    ``acked_indexes`` / ``ack_copies`` expose the commit bookkeeping
+    the Jepsen-style checker verifies against the per-replica files.
+    """
+
+    def __init__(self, backend: "ReplicatedBackend", name: str, resume: bool):
+        self.name = name
+        self.path = backend.path_of(name)
+        self.resume = resume
+        self._backend = backend
+        self._lock = threading.RLock()
+        self._journals: dict[str, Any] = {}
+        self._records: dict[int, dict] = {}
+        self._appended = 0
+        self.discarded = 0
+        #: indexes whose append reached write quorum this run
+        self.acked_indexes: set[int] = set()
+        #: every replica that durably acknowledged each index
+        self.ack_copies: dict[int, tuple[str, ...]] = {}
+        for rid, child, transport in backend.each_replica():
+            if not transport.reachable:
+                continue
+            self._try_open(rid, child, resume)
+        open_count = len(self._journals)
+        needed = backend.write_quorum
+        if resume:
+            needed = max(needed, backend.read_quorum)
+        if open_count < needed:
+            self.close()
+            raise JournalError(
+                f"journal {name}: only {open_count} of "
+                f"{len(backend.children)} replica journals opened; "
+                f"{needed} needed for quorum"
+            )
+
+    def _try_open(self, rid: str, child: StorageBackend, resume: bool) -> bool:
+        try:
+            journal = child.journal(self.name, resume=resume)
+        except (JournalError, StorageError):
+            self._backend.breaker_failure(rid)
+            return False
+        self._backend.breaker_success(rid)
+        self.discarded += journal.discarded
+        for index, record in journal.loaded_records().items():
+            known = self._records.get(index)
+            if known is None:
+                self._records[index] = record
+            elif known["checksum"] != record["checksum"]:
+                journal.close()
+                raise JournalError(
+                    f"replica {rid} journal {self.name} disagrees at "
+                    f"index {index} with an already-merged replica -- "
+                    "refusing to merge unrelated runs"
+                )
+        self._journals[rid] = journal
+        return True
+
+    # -- BatchJournal surface ------------------------------------------
+    def completed(self, index: int, question: str) -> dict | None:
+        with self._lock:
+            record = self._records.get(index)
+        if record is None:
+            return None
+        if (
+            record["question"] != question
+            or record["qdigest"] != question_digest(question)
+        ):
+            raise JournalError(
+                f"replicated journal {self.name} records question "
+                f"{record['question']!r} at index {index}, but the "
+                f"batch being resumed asks {question!r} there -- "
+                "refusing to merge unrelated runs"
+            )
+        return record["outcome"]
+
+    def record(
+        self, index: int, question: str, outcome: Mapping[str, Any]
+    ) -> None:
+        """Append one outcome to every open replica; require W acks."""
+        backend = self._backend
+        with self._lock:
+            # a replica that was down at open may be reachable again:
+            # rejoin it (resume=True loads what it already has) so a
+            # healed replica starts receiving appends mid-batch
+            for rid, child, transport in backend.each_replica():
+                if rid in self._journals or not transport.reachable:
+                    continue
+                self._try_open(rid, child, resume=True)
+            acks: list[str] = []
+            for rid in list(self._journals):
+                journal = self._journals[rid]
+                try:
+                    journal.record(index, question, outcome)
+                except (JournalError, StorageError):
+                    backend.breaker_failure(rid)
+                    backend.count("replica.nacks")
+                    continue
+                backend.breaker_success(rid)
+                backend.count("replica.acks")
+                acks.append(rid)
+            self.ack_copies[index] = tuple(acks)
+            if len(acks) < backend.write_quorum:
+                backend.count("storage.quorum.failed")
+                raise JournalError(
+                    f"journal append at index {index} reached only "
+                    f"{len(acks)} of {backend.write_quorum} required "
+                    f"replica acks"
+                )
+            entry: dict[str, Any] = {
+                "v": JOURNAL_VERSION,
+                "index": index,
+                "question": question,
+                "qdigest": question_digest(question),
+                "outcome": dict(outcome),
+            }
+            entry["checksum"] = _record_checksum(entry)
+            self._records[index] = entry
+            self._appended += 1
+            self.acked_indexes.add(index)
+
+    def loaded_records(self) -> dict[int, dict]:
+        with self._lock:
+            return dict(self._records)
+
+    @property
+    def replayable_count(self) -> int:
+        with self._lock:
+            return len(self._records) - self._appended
+
+    def close(self) -> None:
+        with self._lock:
+            for journal in self._journals.values():
+                try:
+                    journal.close()
+                except StorageError:
+                    pass
+
+    def __enter__(self) -> "ReplicatedJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicatedJournal({self.name!r}, "
+            f"replicas={sorted(self._journals)}, "
+            f"records={len(self)})"
+        )
+
+
+class ReplicatedBackend(StorageBackend):
+    """N child backends, one durability story, quorum consistency.
+
+    The coordinator holds no data of its own: ``self.io`` is ``None``
+    on purpose, and every inherited method that would touch it is
+    overridden to fan out across ``self.children`` instead.  Children
+    are ordinary :class:`StorageBackend` instances whose I/O shim is a
+    :class:`~repro.storage.remote.RemoteIO`, so each leg of a fan-out
+    is one (faultable) network delivery per primitive.
+    """
+
+    kind = "replicated"
+
+    def __init__(
+        self,
+        children: list[StorageBackend],
+        transports: list[ReplicaTransport],
+        write_quorum: int | None = None,
+        read_quorum: int | None = None,
+        metrics: MetricsRegistry | None = None,
+        root: Path | str | None = None,
+        breakers: CircuitBreakerBoard | None = None,
+    ):
+        n = len(children)
+        if n < 1 or len(transports) != n:
+            raise StorageError(
+                "a replicated backend needs one transport per child "
+                f"backend (got {n} children, {len(transports)} "
+                "transports)"
+            )
+        default_w, default_r = default_quorums(n)
+        self.write_quorum = (
+            default_w if write_quorum is None else int(write_quorum)
+        )
+        self.read_quorum = (
+            default_r if read_quorum is None else int(read_quorum)
+        )
+        if not 1 <= self.write_quorum <= n:
+            raise StorageError(
+                f"write quorum must be in [1, {n}], got "
+                f"{self.write_quorum}"
+            )
+        if not 1 <= self.read_quorum <= n:
+            raise StorageError(
+                f"read quorum must be in [1, {n}], got "
+                f"{self.read_quorum}"
+            )
+        if self.write_quorum + self.read_quorum <= n:
+            raise StorageError(
+                f"quorums must overlap: W + R > N required, got "
+                f"W={self.write_quorum} R={self.read_quorum} N={n}"
+            )
+        # deliberately no super().__init__: the coordinator owns no
+        # filesystem -- self.io stays None so an un-overridden base
+        # method fails loudly instead of silently using one replica
+        self.root = Path(root) if root is not None else Path("/replicated")
+        self.io = None
+        self.metrics = metrics
+        self.children = list(children)
+        self.transports = list(transports)
+        self.replica_ids = [t.replica_id for t in transports]
+        self.breakers = breakers
+        self._seq_lock = threading.Lock()
+        self._seq = 0
+        #: highest sequence number acknowledged per replica
+        self.replica_seq: dict[str, int] = {
+            rid: 0 for rid in self.replica_ids
+        }
+        #: the checker's ground truth: last acked seq per document name
+        self.acked_documents: dict[str, int] = {}
+
+    # -- plumbing ------------------------------------------------------
+    def each_replica(
+        self,
+    ) -> Iterator[tuple[str, StorageBackend, ReplicaTransport]]:
+        return zip(self.replica_ids, self.children, self.transports)
+
+    def count(self, name: str, n: int = 1) -> None:
+        self._count(name, n)
+
+    def breaker_success(self, rid: str) -> None:
+        if self.breakers is not None:
+            self.breakers.record_success(f"replica.{rid}")
+
+    def breaker_failure(self, rid: str) -> None:
+        if self.breakers is not None:
+            self.breakers.record_failure(f"replica.{rid}")
+
+    def _breaker_allows(self, rid: str) -> bool:
+        if self.breakers is None:
+            return True
+        return self.breakers.allow(f"replica.{rid}")
+
+    def _next_seq(self) -> int:
+        with self._seq_lock:
+            self._seq += 1
+            return self._seq
+
+    def _observe_seq(self, seq: int) -> None:
+        with self._seq_lock:
+            if seq > self._seq:
+                self._seq = seq
+
+    def _fan_out(
+        self, fn: Callable[[StorageBackend], Any], seq: int | None = None
+    ) -> list[str]:
+        """Apply *fn* to every replica; the ids that acknowledged."""
+        acks: list[str] = []
+        for rid, child, _transport in self.each_replica():
+            if not self._breaker_allows(rid):
+                self.count("replica.nacks")
+                continue
+            try:
+                fn(child)
+            except StorageError:
+                self.breaker_failure(rid)
+                self.count("replica.nacks")
+                continue
+            self.breaker_success(rid)
+            self.count("replica.acks")
+            acks.append(rid)
+            if seq is not None and seq > self.replica_seq.get(rid, 0):
+                self.replica_seq[rid] = seq
+        return acks
+
+    def _gather(
+        self, fn: Callable[[StorageBackend], Any], what: str
+    ) -> list[tuple[str, Any]]:
+        """One reply per replica that answered; ``None`` values mean
+        the replica answered but its copy is corrupt or unusable.
+        Raises :class:`~repro.errors.QuorumError` below R replies."""
+        replies: list[tuple[str, Any]] = []
+        for rid, child, _transport in self.each_replica():
+            if not self._breaker_allows(rid):
+                continue
+            try:
+                value = fn(child)
+            except ReplicaUnavailableError:
+                self.breaker_failure(rid)
+                continue
+            except StorageError:
+                # the replica is up but its artifact is damaged: that
+                # is a reply (it counts toward R) with no usable value
+                self.breaker_success(rid)
+                replies.append((rid, None))
+                continue
+            self.breaker_success(rid)
+            replies.append((rid, value))
+        if len(replies) < self.read_quorum:
+            self.count("storage.quorum.failed")
+            raise QuorumError(
+                f"{what}: only {len(replies)} of "
+                f"{self.read_quorum} required replicas replied",
+                acks=len(replies),
+                required=self.read_quorum,
+            )
+        return replies
+
+    # -- documents -----------------------------------------------------
+    def write_document(self, name: str, document: Mapping[str, Any]) -> None:
+        self.path_of(name)  # validate the name before any delivery
+        seq = self._next_seq()
+        envelope = _make_envelope(name, seq, document)
+        acks = self._fan_out(
+            lambda child: child.write_document(name, envelope), seq=seq
+        )
+        if len(acks) < self.write_quorum:
+            self.count("storage.quorum.failed")
+            raise QuorumError(
+                f"write of {name} reached only {len(acks)} of "
+                f"{self.write_quorum} required replicas",
+                acks=len(acks),
+                required=self.write_quorum,
+                path=name,
+            )
+        self.acked_documents[name] = seq
+        self.count("storage.documents.written")
+
+    def read_document(self, name: str) -> dict | None:
+        replies = self._gather(
+            lambda child: child.read_document(name), f"read of {name}"
+        )
+        parsed: list[tuple[str, tuple[int, str, dict] | None]] = []
+        for rid, raw in replies:
+            if raw is None:
+                parsed.append((rid, None))
+            else:
+                parsed.append((rid, _parse_envelope(raw, name)))
+        candidates = [p for _rid, p in parsed if p is not None]
+        if not candidates:
+            missing_everywhere = all(raw is None for _rid, raw in replies)
+            if missing_everywhere:
+                return None
+            raise StorageError(
+                f"document {name} is corrupt on every replica that "
+                "replied",
+                path=name,
+            )
+        winner_seq, winner_sum, winner = max(
+            candidates, key=lambda c: (c[0], c[1])
+        )
+        self._observe_seq(winner_seq)
+        stale = [
+            rid
+            for rid, p in parsed
+            if p is None or (p[0], p[1]) != (winner_seq, winner_sum)
+        ]
+        if stale:
+            with span("storage.read_repair", category="storage"):
+                for rid in stale:
+                    child = self.children[self.replica_ids.index(rid)]
+                    try:
+                        child.write_document(name, winner)
+                    except StorageError:
+                        self.breaker_failure(rid)
+                        continue
+                    self.count("replica.read_repairs")
+        self.count("storage.documents.read")
+        return dict(winner["document"])
+
+    def delete_document(self, name: str) -> None:
+        path = self.path_of(name)
+        acks = self._fan_out(lambda child: child.delete_document(name))
+        if len(acks) < self.write_quorum:
+            raise QuorumError(
+                f"delete of {name} reached only {len(acks)} of "
+                f"{self.write_quorum} required replicas",
+                acks=len(acks),
+                required=self.write_quorum,
+                path=str(path),
+            )
+        self.acked_documents.pop(name, None)
+
+    def list_documents(self, suffix: str = ".json") -> list[str]:
+        replies = self._gather(
+            lambda child: child.list_documents(suffix),
+            f"listing of *{suffix}",
+        )
+        names: set[str] = set()
+        for _rid, listing in replies:
+            if listing is not None:
+                names.update(listing)
+        return sorted(names)
+
+    def exists(self, name: str) -> bool:
+        path = self.path_of(name)
+        replies = self._gather(
+            lambda child: child.io.exists(child.path_of(name)),
+            f"existence of {name}",
+        )
+        return any(bool(value) for _rid, value in replies)
+
+    # -- journals ------------------------------------------------------
+    def journal(self, name: str, resume: bool = False) -> ReplicatedJournal:
+        self.path_of(name)
+        return ReplicatedJournal(self, name, resume=resume)
+
+    # -- snapshots -----------------------------------------------------
+    def snapshot_generations(self, family: str) -> list[int]:
+        replies = self._gather(
+            lambda child: child.snapshot_generations(family),
+            f"snapshot generations of {family}",
+        )
+        generations: set[int] = set()
+        for _rid, gens in replies:
+            if gens is not None:
+                generations.update(gens)
+        return sorted(generations)
+
+    def write_snapshot(
+        self, family: str, document: Mapping[str, Any]
+    ) -> int:
+        generations = self.snapshot_generations(family)
+        generation = (generations[-1] + 1) if generations else 1
+        payload: dict[str, Any] = {
+            "format": SNAPSHOT_FORMAT,
+            "v": SNAPSHOT_VERSION,
+            "family": family,
+            "generation": generation,
+            "document": dict(document),
+        }
+        payload["checksum"] = _snapshot_checksum(payload)
+        name = self._snapshot_name(family, generation)
+        prune = generations[: max(0, len(generations) + 1 - SNAPSHOT_KEEP)]
+
+        def write_one(child: StorageBackend) -> None:
+            # bypass child.write_snapshot: every replica must store the
+            # SAME generation payload, not invent its own numbering
+            child.write_document(name, payload)
+            for old in prune:
+                child.io.unlink(
+                    child.path_of(self._snapshot_name(family, old))
+                )
+
+        acks = self._fan_out(write_one)
+        if len(acks) < self.write_quorum:
+            self.count("storage.quorum.failed")
+            raise QuorumError(
+                f"snapshot {family} gen-{generation} reached only "
+                f"{len(acks)} of {self.write_quorum} required replicas",
+                acks=len(acks),
+                required=self.write_quorum,
+                path=name,
+            )
+        self.count("storage.snapshots.written")
+        return generation
+
+    def read_snapshot(
+        self, family: str, quarantine_corrupt: bool = True
+    ) -> tuple[dict, int] | None:
+        replies = self._gather(
+            lambda child: child.read_snapshot(
+                family, quarantine_corrupt=False
+            ),
+            f"snapshot of {family}",
+        )
+        best: tuple[int, dict] | None = None
+        for _rid, value in replies:
+            if value is None:
+                continue
+            document, generation = value
+            if best is None or generation > best[0]:
+                best = (generation, dict(document))
+        if best is None:
+            return None
+        generation, document = best
+        payload: dict[str, Any] = {
+            "format": SNAPSHOT_FORMAT,
+            "v": SNAPSHOT_VERSION,
+            "family": family,
+            "generation": generation,
+            "document": dict(document),
+        }
+        payload["checksum"] = _snapshot_checksum(payload)
+        name = self._snapshot_name(family, generation)
+        for rid, value in replies:
+            if value is not None and value[1] == generation:
+                continue
+            child = self.children[self.replica_ids.index(rid)]
+            try:
+                child.write_document(name, payload)
+            except StorageError:
+                continue
+            self.count("replica.read_repairs")
+        self.count("storage.snapshots.read")
+        return dict(document), generation
+
+    # -- quarantine ----------------------------------------------------
+    def quarantine(self, name: str) -> str | None:
+        moved: str | None = None
+        for rid, child, transport in self.each_replica():
+            if not transport.reachable:
+                continue
+            try:
+                result = child.quarantine(name)
+            except StorageError:
+                self.breaker_failure(rid)
+                continue
+            if result is not None and moved is None:
+                moved = result
+        return moved
+
+    # -- recovery + anti-entropy ---------------------------------------
+    def recover(self) -> ReplicatedRecoveryReport:
+        report = ReplicatedRecoveryReport()
+        with span("storage.recover", category="storage"):
+            for rid, child, transport in self.each_replica():
+                if not transport.reachable:
+                    report.skipped.append(rid)
+                    continue
+                try:
+                    sub = child.recover()
+                except StorageError:
+                    self.breaker_failure(rid)
+                    report.skipped.append(rid)
+                    continue
+                report.scanned += sub.scanned
+                report.quarantined.extend(
+                    f"replica-{rid}:{name}" for name in sub.quarantined
+                )
+                report.repaired.extend(
+                    f"replica-{rid}:{name}" for name in sub.repaired
+                )
+                report.torn_discarded.extend(
+                    f"replica-{rid}:{name}"
+                    for name in sub.torn_discarded
+                )
+            report.anti_entropy = self.anti_entropy()
+            self._count("storage.recovery.runs")
+        return report
+
+    def _reachable(self) -> list[tuple[str, StorageBackend]]:
+        return [
+            (rid, child)
+            for rid, child, transport in self.each_replica()
+            if transport.reachable
+        ]
+
+    def anti_entropy(self) -> AntiEntropyReport:
+        """Reconcile the reachable replicas.
+
+        A *partial* pass (some replica unreachable) only propagates
+        artifacts already provably committed -- present on at least W
+        of the reachable replicas -- and never removes anything: a
+        record with fewer visible copies might still be committed via
+        the unreachable replica.  A *full* pass additionally rolls
+        back partial writes (every copy visible, still < W: the client
+        was told the write failed) and rewrites journals to canonical
+        byte-identical form, which is the convergence the nemesis
+        checker asserts.
+        """
+        reachable = self._reachable()
+        report = AntiEntropyReport(
+            [rid for rid, _ in reachable],
+            full=len(reachable) == len(self.children),
+        )
+        if len(reachable) < max(self.write_quorum, self.read_quorum):
+            # not enough of the cluster visible to prove anything
+            return report
+        with span(
+            "storage.anti_entropy",
+            category="storage",
+            replicas=len(reachable),
+            full=report.full,
+        ):
+            self._reconcile_documents(reachable, report)
+            self._reconcile_journals(reachable, report)
+            self._reconcile_snapshots(reachable, report)
+        self.count("replica.anti_entropy.runs")
+        if report.changes:
+            self.count("replica.anti_entropy.changes", report.changes)
+        return report
+
+    def _reconcile_documents(
+        self,
+        reachable: list[tuple[str, StorageBackend]],
+        report: AntiEntropyReport,
+    ) -> None:
+        names: set[str] = set()
+        for _rid, child in reachable:
+            try:
+                names.update(child.list_documents(".json"))
+            except StorageError:
+                continue
+        for name in sorted(names):
+            report.documents_checked += 1
+            held: dict[str, tuple[int, str, dict] | None] = {}
+            texts: dict[str, str | None] = {}
+            for rid, child in reachable:
+                try:
+                    text = child.io.read_text(child.path_of(name))
+                except StorageError:
+                    held[rid] = None
+                    texts[rid] = None
+                    continue
+                texts[rid] = text
+                try:
+                    raw = json.loads(text)
+                except json.JSONDecodeError:
+                    held[rid] = None
+                    continue
+                held[rid] = _parse_envelope(raw, name)
+            copies: dict[tuple[int, str], list[str]] = {}
+            envelopes: dict[tuple[int, str], dict] = {}
+            for rid, parsed in held.items():
+                if parsed is None:
+                    continue
+                seq, checksum, envelope = parsed
+                key = (seq, checksum)
+                copies.setdefault(key, []).append(rid)
+                envelopes[key] = envelope
+            committed = [
+                key
+                for key, holders in copies.items()
+                if len(holders) >= self.write_quorum
+            ]
+            if committed:
+                winner_key = max(committed)
+                winner = envelopes[winner_key]
+                # replicas must converge on *bytes*, not just parsed
+                # meaning: a bare legacy copy and its envelope wrap
+                # share a (seq, checksum) identity but not a
+                # serialization, so repair targets the canonical text
+                canonical = (
+                    json.dumps(
+                        winner, indent=2, sort_keys=True, default=str
+                    )
+                    + "\n"
+                )
+                self._observe_seq(winner_key[0])
+                for rid, child in reachable:
+                    parsed = held[rid]
+                    if texts[rid] == canonical:
+                        continue
+                    if parsed is not None and not report.full and (
+                        (parsed[0], parsed[1]) not in committed
+                        and parsed[0] > winner_key[0]
+                    ):
+                        # a higher-seq partial copy may yet be the
+                        # committed version via an unreachable replica;
+                        # a partial pass must not overwrite it
+                        continue
+                    try:
+                        atomic_write_text(
+                            child.path_of(name), canonical, io=child.io
+                        )
+                    except StorageError:
+                        self.breaker_failure(rid)
+                        continue
+                    report.documents_repaired += 1
+            elif report.full:
+                # every copy visible and none reached quorum: the
+                # write was never acknowledged -- quarantine every
+                # partial copy so it cannot resurrect (evidence, not
+                # garbage, per the recovery doctrine)
+                for rid, child in reachable:
+                    if held[rid] is None:
+                        continue
+                    try:
+                        child.quarantine(name)
+                    except StorageError:
+                        self.breaker_failure(rid)
+                        continue
+                    report.documents_rolled_back += 1
+
+    def _journal_names(
+        self, reachable: list[tuple[str, StorageBackend]]
+    ) -> list[str]:
+        names: set[str] = set()
+        for _rid, child in reachable:
+            try:
+                listing = child.io.listdir(child.root)
+            except StorageError:
+                continue
+            names.update(
+                n for n in listing if n.endswith(".jsonl")
+            )
+        return sorted(names)
+
+    @staticmethod
+    def _parse_journal_text(text: str) -> dict[int, tuple[str, dict]]:
+        """index -> (line, record) for the trustworthy prefix of a
+        journal file, with the torn-tail / stop-at-first-corruption
+        rules of :class:`~repro.robustness.journal.BatchJournal`."""
+        out: dict[int, tuple[str, dict]] = {}
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break
+            if not verify_record(record):
+                break
+            out[int(record["index"])] = (line, record)
+        return out
+
+    def _reconcile_journals(
+        self,
+        reachable: list[tuple[str, StorageBackend]],
+        report: AntiEntropyReport,
+    ) -> None:
+        for name in self._journal_names(reachable):
+            held: dict[str, dict[int, tuple[str, dict]]] = {}
+            for rid, child in reachable:
+                path = child.path_of(name)
+                try:
+                    text = (
+                        child.io.read_text(path)
+                        if child.io.exists(path)
+                        else ""
+                    )
+                except StorageError:
+                    text = ""
+                held[rid] = self._parse_journal_text(text)
+            copies: dict[tuple[int, str], list[str]] = {}
+            lines: dict[tuple[int, str], str] = {}
+            for rid, records in held.items():
+                for index, (line, record) in records.items():
+                    key = (index, str(record["checksum"]))
+                    copies.setdefault(key, []).append(rid)
+                    lines[key] = line
+            committed = {
+                key
+                for key, holders in copies.items()
+                if len(holders) >= self.write_quorum
+            }
+            canonical_keys = sorted(committed)
+            if report.full:
+                canonical = "".join(
+                    lines[key] + "\n" for key in canonical_keys
+                )
+                for rid, child in reachable:
+                    current_keys = {
+                        (index, str(record["checksum"]))
+                        for index, (_line, record) in held[rid].items()
+                    }
+                    if current_keys == committed:
+                        continue
+                    try:
+                        atomic_write_text(
+                            child.path_of(name), canonical, io=child.io
+                        )
+                    except StorageError:
+                        self.breaker_failure(rid)
+                        continue
+                    report.journals_rewritten += 1
+                    report.journal_records_dropped += len(
+                        current_keys - committed
+                    )
+                    report.journal_records_propagated += len(
+                        committed - current_keys
+                    )
+            else:
+                for rid, child in reachable:
+                    current_keys = {
+                        (index, str(record["checksum"]))
+                        for index, (_line, record) in held[rid].items()
+                    }
+                    missing = [
+                        key
+                        for key in canonical_keys
+                        if key not in current_keys
+                    ]
+                    if not missing:
+                        continue
+                    try:
+                        handle = child.io.open(child.path_of(name), "a")
+                        try:
+                            for key in missing:
+                                child.io.write(handle, lines[key] + "\n")
+                            child.io.flush(handle)
+                            child.io.fsync(handle)
+                        finally:
+                            child.io.close(handle)
+                    except StorageError:
+                        self.breaker_failure(rid)
+                        continue
+                    report.journal_records_propagated += len(missing)
+
+    def _reconcile_snapshots(
+        self,
+        reachable: list[tuple[str, StorageBackend]],
+        report: AntiEntropyReport,
+    ) -> None:
+        found: dict[tuple[str, int], dict[str, dict | None]] = {}
+        for rid, child in reachable:
+            try:
+                listing = child.io.listdir(child.root)
+            except StorageError:
+                continue
+            for name in listing:
+                match = _SNAPSHOT_RE.match(name)
+                if match is None:
+                    continue
+                family = match.group("family")
+                generation = int(match.group("gen"))
+                try:
+                    payload = json.loads(
+                        child.io.read_text(child.path_of(name))
+                    )
+                    valid = (
+                        isinstance(payload, dict)
+                        and payload.get("format") == SNAPSHOT_FORMAT
+                        and payload.get("family") == family
+                        and payload.get("generation") == generation
+                        and isinstance(payload.get("document"), dict)
+                        and payload.get("checksum")
+                        == _snapshot_checksum(payload)
+                    )
+                except (json.JSONDecodeError, StorageError):
+                    valid = False
+                found.setdefault((family, generation), {})[rid] = (
+                    payload if valid else None
+                )
+        committed_by_family: dict[str, list[int]] = {}
+        for (family, generation), holders in found.items():
+            valid_holders = [
+                rid for rid, payload in holders.items()
+                if payload is not None
+            ]
+            if len(valid_holders) >= self.write_quorum:
+                committed_by_family.setdefault(family, []).append(
+                    generation
+                )
+        for family, generations in committed_by_family.items():
+            keep = sorted(generations)[-SNAPSHOT_KEEP:]
+            for generation in keep:
+                name = self._snapshot_name(family, generation)
+                holders = found[(family, generation)]
+                payload = next(
+                    p for p in holders.values() if p is not None
+                )
+                for rid, child in reachable:
+                    if holders.get(rid) is not None:
+                        continue
+                    try:
+                        child.write_document(name, payload)
+                    except StorageError:
+                        self.breaker_failure(rid)
+                        continue
+                    report.snapshots_propagated += 1
+        if report.full:
+            # drop generations that never reached quorum (un-acked) or
+            # fell past the keep horizon, everywhere
+            for (family, generation), holders in sorted(found.items()):
+                keep = sorted(
+                    committed_by_family.get(family, [])
+                )[-SNAPSHOT_KEEP:]
+                if generation in keep:
+                    continue
+                name = self._snapshot_name(family, generation)
+                for rid, child in reachable:
+                    if rid not in holders:
+                        continue
+                    try:
+                        if generation in committed_by_family.get(
+                            family, []
+                        ):
+                            # committed but superseded: plain prune
+                            child.io.unlink(child.path_of(name))
+                        else:
+                            child.quarantine(name)
+                    except StorageError:
+                        self.breaker_failure(rid)
+                        continue
+                    report.snapshots_pruned += 1
+
+    # -- introspection -------------------------------------------------
+    def health(self) -> dict:
+        """Per-replica reachability for ``/readyz``."""
+        states = (
+            self.breakers.states() if self.breakers is not None else {}
+        )
+        replicas = []
+        degraded = []
+        reachable_count = 0
+        for rid, _child, transport in self.each_replica():
+            info = transport.describe()
+            info["breaker"] = states.get(f"replica.{rid}", "closed")
+            info["seq"] = self.replica_seq.get(rid, 0)
+            replicas.append(info)
+            if info["reachable"] and info["breaker"] != "open":
+                reachable_count += 1
+            else:
+                degraded.append(rid)
+        return {
+            "replicas": replicas,
+            "n": len(self.children),
+            "write_quorum": self.write_quorum,
+            "read_quorum": self.read_quorum,
+            "degraded": degraded,
+            "quorum_ok": reachable_count
+            >= max(self.write_quorum, self.read_quorum),
+        }
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "root": str(self.root),
+            "replicas": len(self.children),
+            "write_quorum": self.write_quorum,
+            "read_quorum": self.read_quorum,
+            "children": [child.describe() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicatedBackend(n={len(self.children)}, "
+            f"W={self.write_quorum}, R={self.read_quorum})"
+        )
+
+
+def build_replicated_backend(
+    kind: str,
+    root: Path | None = None,
+    metrics: MetricsRegistry | None = None,
+    replicas: int = 3,
+    write_quorum: int | None = None,
+    read_quorum: int | None = None,
+    breakers: CircuitBreakerBoard | None = None,
+) -> ReplicatedBackend:
+    """Stand up N local-dir or in-memory replicas behind one coordinator.
+
+    ``local`` lays the replicas out as ``<root>/replica-<i>/`` so a
+    restarted service re-opens the same replica directories; ``memory``
+    gives each replica its own private file table.
+    """
+    if kind == "local" and root is None:
+        raise StorageError(
+            "the replicated local backend needs a root directory "
+            "(--journal-dir)"
+        )
+    children: list[StorageBackend] = []
+    transports: list[ReplicaTransport] = []
+    for index in range(replicas):
+        rid = str(index)
+        transport = ReplicaTransport(rid)
+        if kind == "memory":
+            child_io: StorageIO = MemoryIO()
+            child_root = Path(f"/replica-{index}")
+        elif kind == "local":
+            child_io = LocalIO()
+            child_root = Path(root) / f"replica-{index}"
+        else:
+            raise StorageError(
+                f"unknown replicated backend kind {kind!r}; choose "
+                "local or memory"
+            )
+        child = StorageBackend(
+            child_root, RemoteIO(child_io, transport), metrics=None
+        )
+        child.kind = kind
+        children.append(child)
+        transports.append(transport)
+    if breakers is None:
+        breakers = CircuitBreakerBoard(min_calls=2, cooldown_s=5.0)
+    return ReplicatedBackend(
+        children,
+        transports,
+        write_quorum=write_quorum,
+        read_quorum=read_quorum,
+        metrics=metrics,
+        root=root if root is not None else Path("/replicated"),
+        breakers=breakers,
+    )

@@ -325,6 +325,50 @@ class TestCrashStates:
         assert frozenset({"/d/a", "/d/b"}) in finals
         assert frozenset({"/d/b"}) in finals  # b without a: reordered
 
+    def test_flushed_but_unfsynced_append_is_losable(self):
+        # flush() publishes bytes to the cache (other readers see
+        # them) but promises nothing about durability: some legal
+        # crash state must lose the whole append
+        sim = SimIO()
+        sim.mkdir(Path("/d"))
+        handle = sim.open(Path("/d/log"), "w")
+        sim.write(handle, "committed\n")
+        sim.fsync(handle)
+        sim.write(handle, "flushed-only\n")
+        sim.flush(handle)
+        sim.close(handle)
+        # the live process observes both lines...
+        assert sim.read_text(Path("/d/log")) == (
+            "committed\nflushed-only\n"
+        )
+        finals = [
+            files.get("/d/log")
+            for prefix, files in enumerate_crash_states(sim.log)
+            if prefix == len(sim.log)
+        ]
+        # ...but a crash may keep only the fsynced prefix
+        assert "committed\n" in finals
+        assert "committed\nflushed-only\n" in finals
+        assert all(
+            content is not None and content.startswith("committed\n")
+            for content in finals
+        )
+
+    def test_fsynced_append_survives_every_crash_state(self):
+        sim = SimIO()
+        sim.mkdir(Path("/d"))
+        handle = sim.open(Path("/d/log"), "w")
+        sim.write(handle, "first\n")
+        sim.fsync(handle)
+        sim.write(handle, "second\n")
+        sim.fsync(handle)
+        sim.close(handle)
+        for prefix, files in enumerate_crash_states(sim.log):
+            if prefix == len(sim.log):
+                # after the final fsync there is exactly one legal
+                # content: everything acknowledged as durable
+                assert files.get("/d/log") == "first\nsecond\n"
+
     def test_state_explosion_is_capped(self):
         log = OpLog()
         for i in range(12):

@@ -1,0 +1,398 @@
+"""The replicated storage backend: transport faults, quorum writes
+and reads, read-repair, anti-entropy, and per-replica health.
+
+The cluster under test is all in-memory (``MemoryIO`` children behind
+``RemoteIO`` shims), so every test runs without a disk and every
+network misbehaviour is a deterministic fault-plan site or an explicit
+transport switch -- the same machinery the nemesis harness drives at
+scale in ``test_nemesis.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import (
+    JournalError,
+    QuorumError,
+    ReplicaUnavailableError,
+    StorageError,
+)
+from repro.obs.clock import ManualClock, use_clock
+from repro.robustness import FaultPlan, FaultSpec, inject
+from repro.robustness.breaker import CircuitBreakerBoard
+from repro.robustness.faults import ALL_FAULT_SITES, NET_FAULT_SITES
+from repro.storage import (
+    MemoryIO,
+    RemoteIO,
+    ReplicaTransport,
+    ReplicatedBackend,
+    build_replicated_backend,
+    default_quorums,
+    open_backend,
+)
+
+
+def _plan(site: str, at_call: int = 0) -> FaultPlan:
+    return FaultPlan([FaultSpec(site, at_call=at_call)])
+
+
+def _cluster(replicas: int = 3, **kwargs) -> ReplicatedBackend:
+    # cooldown 0 so a breaker opened while a replica was down
+    # half-opens immediately after restart -- tests heal instantly
+    kwargs.setdefault(
+        "breakers", CircuitBreakerBoard(min_calls=2, cooldown_s=0.0)
+    )
+    return build_replicated_backend(
+        "memory", replicas=replicas, **kwargs
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fault sites and transport behaviour
+# ---------------------------------------------------------------------------
+class TestNetFaultSites:
+    def test_net_sites_are_registered(self):
+        assert set(NET_FAULT_SITES) <= set(ALL_FAULT_SITES)
+        assert set(NET_FAULT_SITES) == {
+            "net.drop",
+            "net.delay",
+            "net.partition",
+            "net.dup",
+            "replica.down",
+            "replica.slow",
+        }
+
+
+class TestReplicaTransport:
+    def test_drop_loses_exactly_one_delivery(self):
+        transport = ReplicaTransport("0")
+        with inject(_plan("net.drop")):
+            with pytest.raises(ReplicaUnavailableError):
+                transport.deliver("op", lambda: "x")
+            assert transport.deliver("op", lambda: "x") == "x"
+
+    def test_partition_is_sticky_until_healed(self):
+        transport = ReplicaTransport("0")
+        with inject(_plan("net.partition")):
+            with pytest.raises(ReplicaUnavailableError):
+                transport.deliver("op", lambda: "x")
+        assert not transport.reachable
+        with pytest.raises(ReplicaUnavailableError):
+            transport.deliver("op", lambda: "x")
+        transport.heal()
+        assert transport.deliver("op", lambda: "x") == "x"
+
+    def test_down_is_sticky_until_restarted(self):
+        transport = ReplicaTransport("0")
+        transport.kill()
+        with pytest.raises(ReplicaUnavailableError) as excinfo:
+            transport.deliver("op", lambda: "x")
+        assert excinfo.value.reason == "down"
+        transport.restart()
+        assert transport.deliver("op", lambda: "x") == "x"
+
+    def test_delay_costs_virtual_time_only(self):
+        clock = ManualClock()
+        transport = ReplicaTransport("0", delay_s=0.5)
+        with use_clock(clock):
+            with inject(_plan("net.delay")):
+                assert transport.deliver("op", lambda: "x") == "x"
+        assert clock.monotonic() == pytest.approx(0.5)
+
+    def test_dup_replays_mutations_but_never_reads(self):
+        calls = {"n": 0}
+
+        def bump():
+            calls["n"] += 1
+
+        transport = ReplicaTransport("0")
+        with inject(_plan("net.dup")):
+            transport.deliver("mut", bump, mutating=True)
+        assert calls["n"] == 2
+        calls["n"] = 0
+        with inject(_plan("net.dup")):
+            transport.deliver("read", bump)  # not mutating: no replay
+        assert calls["n"] == 1
+
+    def test_dup_replay_rejection_keeps_the_first_ack(self):
+        seen: list[int] = []
+
+        def once():
+            seen.append(1)
+            if len(seen) > 1:
+                raise StorageError("already applied")
+
+        transport = ReplicaTransport("0")
+        with inject(_plan("net.dup")):
+            transport.deliver("mut", once, mutating=True)
+        assert ("mut", "ok+dup") in transport.ops
+
+
+# ---------------------------------------------------------------------------
+# Quorum math and construction
+# ---------------------------------------------------------------------------
+class TestQuorums:
+    def test_default_quorums_overlap(self):
+        for n in (1, 2, 3, 4, 5, 7):
+            w, r = default_quorums(n)
+            assert w + r > n
+            assert w == n // 2 + 1
+
+    def test_non_overlapping_quorums_are_rejected(self):
+        with pytest.raises(StorageError, match="overlap"):
+            _cluster(3, write_quorum=1, read_quorum=1)
+
+    def test_open_backend_builds_the_replicated_kind(self):
+        backend = open_backend("memory", replicas=3)
+        assert backend.describe()["kind"] == "replicated"
+        assert len(backend.children) == 3
+        plain = open_backend("memory")
+        assert plain.describe()["kind"] == "memory"
+
+
+# ---------------------------------------------------------------------------
+# Documents under quorum
+# ---------------------------------------------------------------------------
+class TestReplicatedDocuments:
+    def test_round_trip_lands_on_every_replica(self):
+        backend = _cluster()
+        backend.write_document("doc.json", {"k": "v"})
+        assert backend.read_document("doc.json") == {"k": "v"}
+        for child in backend.children:
+            raw = json.loads(
+                child.io.child.read_text(child.path_of("doc.json"))
+            )
+            assert raw["document"] == {"k": "v"}
+            assert raw["seq"] == 1
+
+    def test_write_survives_one_dead_replica(self):
+        backend = _cluster()
+        backend.transports[2].kill()
+        backend.write_document("doc.json", {"k": "v"})
+        assert backend.read_document("doc.json") == {"k": "v"}
+
+    def test_write_fails_below_quorum(self):
+        backend = _cluster()
+        backend.transports[1].kill()
+        backend.transports[2].kill()
+        with pytest.raises(QuorumError) as excinfo:
+            backend.write_document("doc.json", {"k": "v"})
+        assert excinfo.value.acks == 1
+        assert excinfo.value.required == 2
+
+    def test_read_fails_below_quorum(self):
+        backend = _cluster()
+        backend.write_document("doc.json", {"k": "v"})
+        backend.transports[1].partition()
+        backend.transports[2].partition()
+        with pytest.raises(QuorumError):
+            backend.read_document("doc.json")
+
+    def test_read_repair_heals_a_stale_replica(self):
+        backend = _cluster()
+        backend.write_document("doc.json", {"version": 1})
+        backend.transports[2].kill()
+        backend.write_document("doc.json", {"version": 2})
+        backend.transports[2].restart()
+        assert backend.read_document("doc.json") == {"version": 2}
+        stale = backend.children[2]
+        raw = json.loads(
+            stale.io.child.read_text(stale.path_of("doc.json"))
+        )
+        assert raw["document"] == {"version": 2}
+
+    def test_exists_and_listing_are_unions(self):
+        backend = _cluster()
+        backend.write_document("a.json", {})
+        backend.transports[2].kill()
+        backend.write_document("b.json", {})
+        assert backend.exists("a.json")
+        assert backend.exists("b.json")
+        assert backend.list_documents() == ["a.json", "b.json"]
+
+
+# ---------------------------------------------------------------------------
+# The replicated journal
+# ---------------------------------------------------------------------------
+class TestReplicatedJournal:
+    def test_appends_reach_every_replica(self):
+        backend = _cluster()
+        with backend.journal("batch.jsonl") as journal:
+            journal.record(0, "q0", {"status": "ok"})
+            journal.record(1, "q1", {"status": "ok"})
+        for child in backend.children:
+            text = child.io.child.read_text(
+                child.path_of("batch.jsonl")
+            )
+            assert len(text.splitlines()) == 2
+
+    def test_append_with_one_dead_replica_still_acks(self):
+        backend = _cluster()
+        backend.transports[2].kill()
+        with backend.journal("batch.jsonl") as journal:
+            journal.record(0, "q0", {"status": "ok"})
+            assert journal.ack_copies[0] == ("0", "1")
+
+    def test_append_below_quorum_raises(self):
+        backend = _cluster()
+        with backend.journal("batch.jsonl") as journal:
+            backend.transports[1].kill()
+            backend.transports[2].kill()
+            with pytest.raises(JournalError, match="1 of 2"):
+                journal.record(0, "q0", {"status": "ok"})
+
+    def test_healed_replica_rejoins_mid_batch(self):
+        backend = _cluster()
+        backend.transports[2].kill()
+        with backend.journal("batch.jsonl") as journal:
+            journal.record(0, "q0", {"status": "ok"})
+            backend.transports[2].restart()
+            journal.record(1, "q1", {"status": "ok"})
+            assert journal.ack_copies[1] == ("0", "1", "2")
+
+    def test_resume_merges_replica_copies(self):
+        backend = _cluster()
+        with backend.journal("batch.jsonl") as journal:
+            journal.record(0, "q0", {"status": "ok"})
+        with backend.journal("batch.jsonl", resume=True) as resumed:
+            assert resumed.replayable_count == 1
+            assert resumed.completed(0, "q0") == {"status": "ok"}
+
+    def test_resume_rejects_conflicting_questions(self):
+        backend = _cluster()
+        with backend.journal("batch.jsonl") as journal:
+            journal.record(0, "q0", {"status": "ok"})
+        with backend.journal("batch.jsonl", resume=True) as resumed:
+            with pytest.raises(JournalError, match="refusing"):
+                resumed.completed(0, "something else")
+
+
+# ---------------------------------------------------------------------------
+# Anti-entropy and recovery
+# ---------------------------------------------------------------------------
+class TestAntiEntropy:
+    def test_lagging_replica_converges_byte_identical(self):
+        backend = _cluster()
+        backend.write_document("doc.json", {"k": "v"})
+        backend.transports[2].kill()
+        backend.write_document("doc.json", {"k": "v2"})
+        with backend.journal("batch.jsonl") as journal:
+            journal.record(0, "q0", {"status": "ok"})
+        backend.transports[2].restart()
+        report = backend.recover().anti_entropy
+        assert report is not None and report.full
+        assert report.changes > 0
+        tables = [dict(c.io.child.files) for c in backend.children]
+        stripped = [
+            {
+                k.split("/", 2)[-1]: v
+                for k, v in table.items()
+                if "/quarantine/" not in k
+            }
+            for table in tables
+        ]
+        assert stripped[0] == stripped[1] == stripped[2]
+        # a second pass finds nothing left to do
+        assert backend.anti_entropy().changes == 0
+
+    def test_full_pass_rolls_back_sub_quorum_writes(self):
+        backend = _cluster()
+        # a write that reached only one replica and was never acked
+        backend.children[0].write_document("ghost.json", {"k": "?"})
+        report = backend.anti_entropy()
+        assert report.documents_rolled_back == 1
+        assert backend.read_document("ghost.json") is None
+        # rolled back as evidence, not deleted
+        quarantine = [
+            k
+            for k in backend.children[0].io.child.files
+            if "/quarantine/" in k
+        ]
+        assert any("ghost" in k for k in quarantine)
+
+    def test_partial_pass_propagates_only_committed(self):
+        backend = _cluster()
+        backend.children[0].write_document("ghost.json", {"k": "?"})
+        backend.transports[2].partition()
+        report = backend.anti_entropy()
+        assert not report.full
+        assert report.documents_rolled_back == 0
+        # the sub-quorum ghost survives until a full pass can prove
+        # no unreachable replica holds a quorum-completing copy
+        assert backend.children[0].read_document("ghost.json") is not None
+
+    def test_recover_skips_unreachable_replicas(self):
+        backend = _cluster()
+        backend.write_document("doc.json", {"k": "v"})
+        backend.transports[1].partition()
+        report = backend.recover()
+        assert report.skipped == ["1"]
+        assert report.anti_entropy is not None
+        assert not report.anti_entropy.full
+
+
+# ---------------------------------------------------------------------------
+# Health and breakers
+# ---------------------------------------------------------------------------
+class TestHealth:
+    def test_health_reports_degraded_replicas(self):
+        backend = _cluster()
+        health = backend.health()
+        assert health["degraded"] == []
+        assert health["quorum_ok"]
+        backend.transports[1].kill()
+        health = backend.health()
+        assert health["degraded"] == ["1"]
+        assert health["quorum_ok"]  # 2 of 3 still satisfies W=R=2
+        backend.transports[2].partition()
+        health = backend.health()
+        assert sorted(health["degraded"]) == ["1", "2"]
+        assert not health["quorum_ok"]
+
+    def test_breaker_opens_for_a_dead_replica(self):
+        backend = _cluster(
+            breakers=CircuitBreakerBoard(min_calls=2, cooldown_s=60.0)
+        )
+        backend.transports[2].kill()
+        backend.write_document("a.json", {})
+        backend.write_document("b.json", {})
+        assert "replica.2" in backend.breakers.open_sites()
+        # the open breaker stops even attempting deliveries
+        failed_before = backend.transports[2].failed
+        backend.write_document("c.json", {})
+        assert backend.transports[2].failed == failed_before
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+# ---------------------------------------------------------------------------
+class TestReplicatedSnapshots:
+    def test_snapshot_round_trip_and_generations(self):
+        backend = _cluster()
+        backend.write_snapshot("state", {"rows": 1})
+        backend.write_snapshot("state", {"rows": 2})
+        assert backend.snapshot_generations("state") == [1, 2]
+        document, generation = backend.read_snapshot("state")
+        assert document == {"rows": 2}
+        assert generation == 2
+
+    def test_snapshot_needs_write_quorum(self):
+        backend = _cluster()
+        backend.transports[1].kill()
+        backend.transports[2].kill()
+        with pytest.raises(QuorumError):
+            backend.write_snapshot("state", {"rows": 1})
+
+    def test_snapshot_read_repairs_laggards(self):
+        backend = _cluster()
+        backend.transports[2].kill()
+        backend.write_snapshot("state", {"rows": 1})
+        backend.transports[2].restart()
+        document, generation = backend.read_snapshot("state")
+        assert (document, generation) == ({"rows": 1}, 1)
+        laggard = backend.children[2]
+        assert laggard.snapshot_generations("state") == [1]

@@ -989,3 +989,175 @@ class TestQuotaReload:
             assert server.client.explain(_explain_body()).status == 200
         finally:
             server.kill_wait()
+
+
+# ---------------------------------------------------------------------------
+# replicated storage behind the service
+# ---------------------------------------------------------------------------
+class TestReplicatedService:
+    def _state(self, **kw):
+        kw.setdefault("storage", "memory")
+        kw.setdefault("replicas", 3)
+        state = ServiceState(ServiceConfig(**kw))
+        state.ready.set()
+        return state
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            ServiceConfig(replicas=0)
+        with pytest.raises(ConfigurationError, match="--replicas > 1"):
+            ServiceConfig(write_quorum=2)
+        with pytest.raises(ConfigurationError, match="storage"):
+            ServiceConfig(replicas=3)  # no backend to replicate
+        with pytest.raises(ConfigurationError, match="overlap"):
+            ServiceConfig(
+                storage="memory",
+                replicas=3,
+                write_quorum=1,
+                read_quorum=1,
+            )
+
+    def test_default_quorums_are_resolved(self):
+        config = ServiceConfig(storage="memory", replicas=3)
+        assert (config.write_quorum, config.read_quorum) == (2, 2)
+        config = ServiceConfig(storage="memory", replicas=5)
+        assert (config.write_quorum, config.read_quorum) == (3, 3)
+
+    def test_batch_serves_with_one_replica_down(self):
+        state = self._state()
+        state.register_database(REGISTER)
+        state.backend.transports[2].kill()
+        document, fresh = state.explain_batch(_batch_body())
+        assert fresh
+        assert document["outcomes"]
+        ready, ready_doc = state.ready_document()
+        assert ready  # quorum still satisfied: stay in rotation
+        assert ready_doc["status"] == "degraded"
+        assert ready_doc["replicas"]["degraded"] == ["2"]
+
+    def test_quorum_loss_flips_readyz(self):
+        state = self._state()
+        state.backend.transports[1].kill()
+        state.backend.transports[2].partition()
+        ready, ready_doc = state.ready_document()
+        assert not ready
+        assert ready_doc["status"] == "quorum-lost"
+        assert not ready_doc["replicas"]["quorum_ok"]
+
+    def test_idempotent_retry_through_replicated_journal(self):
+        state = self._state()
+        state.register_database(REGISTER)
+        body = _batch_body(request_id="batch-repl-1")
+        first, fresh_first = state.explain_batch(body)
+        again, fresh_again = state.explain_batch(body)
+        assert fresh_first and not fresh_again
+        assert first["request_id"] == again["request_id"]
+
+    def test_unreplicated_readyz_has_no_replica_block(self):
+        state = ServiceState(ServiceConfig(storage="memory"))
+        state.ready.set()
+        _ready, document = state.ready_document()
+        assert "replicas" not in document
+
+    def test_live_server_reports_replica_health(self):
+        with _live_server(storage="memory", replicas=3) as (
+            httpd,
+            client,
+        ):
+            assert client.register_database(REGISTER).ok
+            ready = client.readyz()
+            assert ready.status == 200
+            replicas = ready.body["replicas"]
+            assert replicas["n"] == 3
+            assert replicas["write_quorum"] == 2
+            assert replicas["degraded"] == []
+            httpd.state.backend.transports[1].kill()
+            degraded = client.readyz()
+            assert degraded.status == 200  # quorum holds: stay up
+            assert degraded.body["status"] == "degraded"
+            assert degraded.body["replicas"]["degraded"] == ["1"]
+            batch = client.explain_batch(_batch_body())
+            assert batch.status == 200
+            httpd.state.backend.transports[2].kill()
+            lost = client.readyz()
+            assert lost.status == 503
+            assert lost.body["status"] == "quorum-lost"
+            # restore quorum so teardown's drain can persist state
+            httpd.state.backend.transports[1].restart()
+            httpd.state.backend.transports[2].restart()
+
+
+# ---------------------------------------------------------------------------
+# client pushback retry (RetryPolicy + Retry-After)
+# ---------------------------------------------------------------------------
+class _ScriptedClient(ServiceClient):
+    """A client whose transport replays a scripted response list."""
+
+    def __init__(self, responses, **kw):
+        super().__init__(**kw)
+        self.responses = list(responses)
+        self.sent = 0
+
+    def _send(self, method, path, body=None, headers=None):
+        response = self.responses[
+            min(self.sent, len(self.responses) - 1)
+        ]
+        self.sent += 1
+        return response
+
+
+class TestClientRetry:
+    def test_retries_pushback_until_success(self):
+        from repro.robustness import RetryPolicy
+        from repro.service.client import ServiceResponse
+
+        clock = ManualClock()
+        client = _ScriptedClient(
+            [
+                ServiceResponse(status=429, retry_after_s=2.0),
+                ServiceResponse(status=503),
+                ServiceResponse(status=200, body={"ok": True}),
+            ],
+            retry=RetryPolicy(
+                max_attempts=5, backoff_ms=100.0, jitter=0.0
+            ),
+        )
+        with use_clock(clock):
+            response = client.explain_batch({"why_not": ["(q: x)"]})
+        assert response.status == 200
+        assert client.sent == 3
+        # first wait honours Retry-After (2.0 > 0.1); second falls
+        # back to the policy backoff (0.2) -- and no real time passed
+        assert clock.monotonic() == pytest.approx(2.2)
+
+    def test_retry_budget_is_bounded(self):
+        from repro.robustness import RetryPolicy
+        from repro.service.client import ServiceResponse
+
+        client = _ScriptedClient(
+            [ServiceResponse(status=429, retry_after_s=0.5)],
+            retry=RetryPolicy(max_attempts=3, jitter=0.0),
+        )
+        with use_clock(ManualClock()):
+            response = client.healthz()
+        assert response.status == 429  # surfaced after the budget
+        assert client.sent == 3
+
+    def test_non_pushback_statuses_return_immediately(self):
+        from repro.robustness import RetryPolicy
+        from repro.service.client import ServiceResponse
+
+        client = _ScriptedClient(
+            [ServiceResponse(status=404)],
+            retry=RetryPolicy(max_attempts=5),
+        )
+        response = client.healthz()
+        assert response.status == 404
+        assert client.sent == 1
+
+    def test_no_policy_means_single_shot(self):
+        from repro.service.client import ServiceResponse
+
+        client = _ScriptedClient([ServiceResponse(status=503)])
+        assert client.healthz().status == 503
+        assert client.sent == 1

@@ -261,6 +261,65 @@ class TestRecovery:
         assert first.scanned >= second.scanned
 
 
+class TestQuarantineCap:
+    def test_quarantine_growth_is_capped_oldest_first(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        backend = MemoryBackend(metrics=metrics, quarantine_keep=3)
+        for i in range(5):
+            backend.io.write_text(
+                backend.path_of(f"bad-{i}.json.tmp"), "torn"
+            )
+            backend.quarantine(f"bad-{i}.json.tmp")
+        qdir = backend.root / "quarantine"
+        kept = sorted(backend.io.listdir(qdir))
+        # newest three survive; the two oldest were pruned
+        assert kept == [
+            "bad-2.json.tmp",
+            "bad-3.json.tmp",
+            "bad-4.json.tmp",
+        ]
+        assert (
+            metrics.counter("storage.quarantine.pruned").value == 2
+        )
+
+    def test_inherited_evidence_is_pruned_before_fresh(self):
+        backend = MemoryBackend(quarantine_keep=2)
+        # evidence left behind by an earlier process: on disk but not
+        # in this process's quarantine order
+        qdir = backend.root / "quarantine"
+        backend.io.mkdir(qdir)
+        backend.io.write_text(qdir / "zz-old.json", "ancient")
+        backend.io.write_text(
+            backend.path_of("fresh.json.tmp"), "torn"
+        )
+        backend.quarantine("fresh.json.tmp")
+        backend.io.write_text(
+            backend.path_of("newer.json.tmp"), "torn"
+        )
+        backend.quarantine("newer.json.tmp")
+        kept = sorted(backend.io.listdir(qdir))
+        assert kept == ["fresh.json.tmp", "newer.json.tmp"]
+
+    def test_unlimited_keep_disables_pruning(self):
+        backend = MemoryBackend(quarantine_keep=None)
+        for i in range(40):
+            backend.io.write_text(
+                backend.path_of(f"bad-{i}.json.tmp"), "torn"
+            )
+            backend.quarantine(f"bad-{i}.json.tmp")
+        qdir = backend.root / "quarantine"
+        assert len(backend.io.listdir(qdir)) == 40
+
+
+class TestExists:
+    def test_exists_by_logical_name(self, backend):
+        backend.write_document("doc.json", {"k": 1})
+        assert backend.exists("doc.json")
+        assert not backend.exists("missing.json")
+
+
 class TestOpenBackend:
     def test_kinds(self, tmp_path):
         assert open_backend("local", root=tmp_path).kind == "local"
